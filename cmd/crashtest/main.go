@@ -1,0 +1,297 @@
+// Command crashtest tortures the persistent universal constructions with
+// randomly placed full-system crashes and verifies the correctness
+// conditions after every recovery:
+//
+//	PREP-Durable   durable linearizability — no completed operation lost;
+//	PREP-Buffered  buffered durable linearizability — the recovered state is
+//	               a per-worker prefix, with at most ε+β−1 completed
+//	               operations lost per crash;
+//	CX-PUC         durable linearizability.
+//
+// Each iteration runs workers inserting per-worker key sequences, freezes
+// the machine at a pseudo-random event (mid-operation: threads are unwound
+// from their next memory access), recovers, and checks the recovered state
+// against the host-side completion record. Background flushes and unfenced
+// write-back coin flips are enabled to make the crash states adversarial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prepuc/internal/core"
+	"prepuc/internal/cxpuc"
+	"prepuc/internal/history"
+	"prepuc/internal/numa"
+	"prepuc/internal/nvm"
+	"prepuc/internal/onll"
+	"prepuc/internal/seq"
+	"prepuc/internal/sim"
+	"prepuc/internal/soft"
+	"prepuc/internal/uc"
+)
+
+var (
+	iterations = flag.Int("iterations", 20, "crash/recover cycles per system")
+	workers    = flag.Int("workers", 8, "worker threads")
+	epsilon    = flag.Uint64("epsilon", 64, "PREP flush boundary increment ε")
+	logSize    = flag.Uint64("log", 256, "shared log entries")
+	seed       = flag.Int64("seed", 1, "base seed")
+	system     = flag.String("system", "all", "prep-durable, prep-buffered, cx, soft, onll or all")
+)
+
+func main() {
+	flag.Parse()
+	failures := 0
+	run := func(name string, fn func(iter int) (history.Report, bool)) {
+		fmt.Printf("=== %s: %d crash/recover cycles ===\n", name, *iterations)
+		for i := 0; i < *iterations; i++ {
+			rep, ok := fn(i)
+			status := "OK "
+			if !ok {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("  [%s] crash %2d: %s\n", status, i, rep)
+		}
+	}
+	if *system == "all" || *system == "prep-durable" {
+		run("PREP-Durable", func(i int) (history.Report, bool) {
+			rep := crashPrep(core.Durable, i)
+			return rep, rep.DurableOK()
+		})
+	}
+	if *system == "all" || *system == "prep-buffered" {
+		beta := uint64(topo().ThreadsPerNode)
+		run("PREP-Buffered", func(i int) (history.Report, bool) {
+			rep := crashPrep(core.Buffered, i)
+			return rep, rep.BufferedOK(*epsilon, beta)
+		})
+	}
+	if *system == "all" || *system == "cx" {
+		run("CX-PUC", func(i int) (history.Report, bool) {
+			rep := crashCX(i)
+			return rep, rep.DurableOK()
+		})
+	}
+	if *system == "all" || *system == "soft" {
+		run("SOFT", func(i int) (history.Report, bool) {
+			rep := crashSOFT(i)
+			return rep, rep.DurableOK()
+		})
+	}
+	if *system == "all" || *system == "onll" {
+		run("ONLL", func(i int) (history.Report, bool) {
+			rep := crashONLL(i)
+			return rep, rep.DurableOK()
+		})
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d FAILURES\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall crash/recover cycles satisfied their correctness condition")
+}
+
+func topo() numa.Topology { return numa.Topology{Nodes: 2, ThreadsPerNode: (*workers + 1) / 2} }
+
+// crashEvent picks the iteration's crash point.
+func crashEvent(iter int) uint64 { return 20_000 + uint64(iter)*37_511%600_000 }
+
+// runInsertWorkers drives per-worker key insertions until the crash.
+func runInsertWorkers(sch *sim.Scheduler, tp numa.Topology, n int,
+	exec func(t *sim.Thread, tid int, op uc.Op) uint64) []uint64 {
+	completed := make([]uint64, n)
+	for tid := 0; tid < n; tid++ {
+		tid := tid
+		sch.Spawn("worker", tp.NodeOf(tid), 0, func(t *sim.Thread) {
+			defer func() {
+				if r := recover(); r != nil && !sim.Crashed(r) {
+					panic(r)
+				}
+			}()
+			for i := uint64(0); ; i++ {
+				exec(t, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				completed[tid] = i + 1
+			}
+		})
+	}
+	sch.Run()
+	return completed
+}
+
+// probeKeys reads back which keys survived recovery.
+func probeKeys(recSys *nvm.System, seed int64, completed []uint64,
+	get func(t *sim.Thread, key uint64) bool) [][]bool {
+	keys := make([][]bool, len(completed))
+	sch := sim.New(seed)
+	recSys.SetScheduler(sch)
+	sch.Spawn("probe", 0, 0, func(t *sim.Thread) {
+		for tid := range completed {
+			n := completed[tid] + 32
+			keys[tid] = make([]bool, n)
+			for i := uint64(0); i < n; i++ {
+				keys[tid][i] = get(t, history.Key(tid, i))
+			}
+		}
+	})
+	sch.Run()
+	return keys
+}
+
+func crashPrep(mode core.Mode, iter int) history.Report {
+	tp := topo()
+	base := *seed + int64(iter)*101
+	cfg := core.Config{
+		Mode: mode, Topology: tp, Workers: *workers,
+		LogSize: *logSize, Epsilon: *epsilon,
+		Factory:   seq.HashMapFactory(256),
+		Attacher:  seq.HashMapAttacher,
+		HeapWords: 1 << 21,
+	}
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+	})
+	var p *core.PREP
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { p, err = core.New(t, sys, cfg) })
+	bootSch.Run()
+	if err != nil {
+		panic(err)
+	}
+
+	sch := sim.New(base + 1)
+	sch.CrashAtEvent(crashEvent(iter))
+	sys.SetScheduler(sch)
+	p.SpawnPersistence(0)
+	completed := runInsertWorkers(sch, tp, *workers, p.Execute)
+
+	recSch := sim.New(base + 2)
+	recSys := sys.Recover(recSch)
+	var rec *core.PREP
+	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+		rec, _, err = core.Recover(t, recSys, cfg)
+	})
+	recSch.Run()
+	if err != nil {
+		panic(err)
+	}
+	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
+		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+	})
+	return history.Check(keys, completed)
+}
+
+func crashSOFT(iter int) history.Report {
+	tp := topo()
+	base := *seed + int64(iter)*107 + 90_000
+	cfg := soft.Config{Buckets: 512, VolatileWords: 1 << 20, PersistentWords: 1 << 20}
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+	})
+	var s *soft.Soft
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { s = soft.New(t, sys, cfg) })
+	bootSch.Run()
+
+	sch := sim.New(base + 1)
+	sch.CrashAtEvent(crashEvent(iter))
+	sys.SetScheduler(sch)
+	completed := runInsertWorkers(sch, tp, *workers, s.Execute)
+
+	recSch := sim.New(base + 2)
+	recSys := sys.Recover(recSch)
+	var rec *soft.Soft
+	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+		rec, _, _ = soft.Recover(t, recSys, cfg)
+	})
+	recSch.Run()
+	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
+		return rec.Get(t, key) != uc.NotFound
+	})
+	return history.Check(keys, completed)
+}
+
+func crashONLL(iter int) history.Report {
+	tp := topo()
+	base := *seed + int64(iter)*109 + 130_000
+	cfg := onll.Config{
+		Workers: *workers, Factory: seq.HashMapFactory(256),
+		HeapWords: 1 << 21, LogEntries: 1 << 13,
+	}
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+	})
+	var o *onll.ONLL
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { o, err = onll.New(t, sys, cfg) })
+	bootSch.Run()
+	if err != nil {
+		panic(err)
+	}
+
+	sch := sim.New(base + 1)
+	sch.CrashAtEvent(crashEvent(iter))
+	sys.SetScheduler(sch)
+	completed := runInsertWorkers(sch, tp, *workers, o.Execute)
+
+	recSch := sim.New(base + 2)
+	recSys := sys.Recover(recSch)
+	var rec *onll.ONLL
+	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+		rec, _, err = onll.Recover(t, recSys, cfg)
+	})
+	recSch.Run()
+	if err != nil {
+		panic(err)
+	}
+	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
+		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+	})
+	return history.Check(keys, completed)
+}
+
+func crashCX(iter int) history.Report {
+	tp := topo()
+	base := *seed + int64(iter)*103 + 50_000
+	cfg := cxpuc.Config{
+		Workers:   *workers,
+		Factory:   seq.HashMapFactory(256),
+		Attacher:  seq.HashMapAttacher,
+		HeapWords: 1 << 20, QueueCapacity: 1 << 18, CapReplicas: 8,
+	}
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+	})
+	var cx *cxpuc.CX
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { cx, err = cxpuc.New(t, sys, cfg) })
+	bootSch.Run()
+	if err != nil {
+		panic(err)
+	}
+
+	sch := sim.New(base + 1)
+	sch.CrashAtEvent(crashEvent(iter))
+	sys.SetScheduler(sch)
+	completed := runInsertWorkers(sch, tp, *workers, cx.Execute)
+
+	recSch := sim.New(base + 2)
+	recSys := sys.Recover(recSch)
+	var rec *cxpuc.CX
+	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+		rec, err = cxpuc.Recover(t, recSys, cfg)
+	})
+	recSch.Run()
+	if err != nil {
+		panic(err)
+	}
+	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
+		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+	})
+	return history.Check(keys, completed)
+}

@@ -1,0 +1,85 @@
+// Command prepbench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	prepbench [-scale tiny|small|paper] [-experiment fig2a,fig3|all] [-seed N] [-list]
+//
+// Each experiment prints one table: thread counts down the rows, one
+// throughput column (ops per virtual second) per system, matching the
+// series of the corresponding figure in the paper. Absolute numbers are
+// simulator-relative; the shapes (who wins, by what factor, where the
+// crossovers fall) are the reproduction target — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"prepuc/internal/harness"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
+	expList := flag.String("experiment", "all", "comma-separated figure IDs, or 'all'")
+	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = harness.TinyScale()
+	case "small":
+		sc = harness.SmallScale()
+	case "paper":
+		sc = harness.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	figs := harness.Catalog(sc)
+
+	if *list {
+		for _, id := range harness.FigureIDs(figs) {
+			fmt.Printf("%-18s %s\n", id, figs[id].Title)
+		}
+		fmt.Printf("%-18s %s\n", "ext-recovery",
+			"Recovery time: PREP-Durable ε windows vs ONLL full-history replay")
+		return
+	}
+
+	var ids []string
+	if *expList == "all" {
+		ids = append(harness.FigureIDs(figs), "ext-recovery")
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := figs[id]; !ok && id != "ext-recovery" {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	fmt.Printf("PREP-UC evaluation — scale=%s seed=%d topology=%dx%d duration=%.1fms(virtual)\n",
+		sc.Name, *seed, sc.Topology.Nodes, sc.Topology.ThreadsPerNode,
+		float64(sc.DurationNS)/1e6)
+	for _, id := range ids {
+		start := time.Now()
+		if id == "ext-recovery" {
+			fmt.Printf("\n=== ext-recovery: recovery time, checkpointing (PREP) vs log replay (ONLL) ===\n")
+			harness.RunRecoveryExperiment(sc, *seed, os.Stdout)
+			fmt.Printf("(wall time %.1fs)\n", time.Since(start).Seconds())
+			continue
+		}
+		fig := figs[id]
+		fmt.Printf("\n=== %s: %s ===\n", fig.ID, fig.Title)
+		points := harness.RunFigure(fig, sc, *seed, os.Stdout)
+		harness.WriteTable(os.Stdout, fig, points)
+		fmt.Printf("(wall time %.1fs)\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,3 @@
+module prepuc
+
+go 1.22

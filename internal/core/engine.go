@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+
+	"prepuc/internal/locks"
+	"prepuc/internal/nvm"
+	"prepuc/internal/oplog"
+	"prepuc/internal/pmem"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// Per-replica control memory layout (word offsets). Locks, the localTail
+// and the flat-combining batch live in node-local volatile memory so worker
+// threads pay local access costs, exactly like NR-UC's per-node replica
+// metadata. The reader–writer lock is NR's distributed lock — one cache
+// line per reader — so read-only operations never ping-pong a shared lock
+// word; its region starts at ctrlRW and spans (1+β) lines, with the β
+// flat-combining slots following it.
+const (
+	ctrlCombiner  = 0  // combiner trylock word
+	ctrlLocalTail = 8  // replica's localTail
+	ctrlUpdateNow = 16 // updateReplicaNow flag for this replica
+	ctrlRW        = 24 // distributed reader–writer lock region
+	slotWords     = 8  // one cache line per batch slot
+	slotState     = 0
+	slotCode      = 1
+	slotA0        = 2
+	slotA1        = 3
+	slotResp      = 4
+)
+
+// Batch slot states.
+const (
+	slotEmpty   = 0
+	slotPending = 1
+	slotDone    = 2
+)
+
+// Global control memory layout (volatile, interleaved).
+const (
+	gFlushBoundary = 0
+	gStop          = 8
+	gPTail0        = 16 // volatile mirror of persistent replica 0's localTail
+	gPTail1        = 24
+	gActive        = 32 // volatile mirror of p_activePReplica
+)
+
+// Persistent metadata memory layout (NVM).
+const metaActive = 0 // p_activePReplica
+
+// The heap root slot where each persistent replica stores its localTail
+// (slot 0 is the sequential object's own root).
+const pTailRootSlot = 1
+
+// replica is one NUMA node's volatile replica with its flat-combining state.
+type replica struct {
+	node     int
+	heap     *nvm.Memory
+	alloc    *pmem.Allocator
+	ds       uc.DataStructure
+	ctrl     *nvm.Memory
+	combiner locks.TryLock
+	rw       locks.DistRWLock
+	// slotsBase is where the β flat-combining slots start in ctrl.
+	slotsBase uint64
+	// flusher is used only while holding the combiner lock (durable mode),
+	// so it is effectively thread-exclusive.
+	flusher *nvm.Flusher
+}
+
+func (r *replica) localTail(t *sim.Thread) uint64 { return r.ctrl.Load(t, ctrlLocalTail) }
+func (r *replica) setLocalTail(t *sim.Thread, v uint64) {
+	r.ctrl.Store(t, ctrlLocalTail, v)
+}
+func (r *replica) updateNow(t *sim.Thread) bool { return r.ctrl.Load(t, ctrlUpdateNow) != 0 }
+func (r *replica) setUpdateNow(t *sim.Thread, v uint64) {
+	r.ctrl.Store(t, ctrlUpdateNow, v)
+}
+func (r *replica) slotOff(slot int) uint64 { return r.slotsBase + uint64(slot)*slotWords }
+
+// pReplica is one of the two dedicated persistent replicas (§4.1).
+type pReplica struct {
+	id    int
+	heap  *nvm.Memory
+	alloc *pmem.Allocator
+	ds    uc.DataStructure
+}
+
+// Stats counts engine-level events (host-side; not part of the simulation).
+type Stats struct {
+	Updates, Reads     uint64
+	Combines           uint64
+	CombinedOps        uint64
+	PersistCycles      uint64
+	BoundaryReductions uint64
+	CrossNodeHelps     uint64
+}
+
+// PREP is one instance of the PREP-UC universal construction.
+type PREP struct {
+	cfg   Config
+	sys   *nvm.System
+	log   *oplog.Log
+	beta  uint64
+	nodes int
+	reps  []*replica
+	preps []*pReplica
+	meta  *nvm.Memory
+	gctrl *nvm.Memory
+	stats Stats
+}
+
+var _ uc.UC = (*PREP)(nil)
+
+func (c Config) memName(s string) string { return fmt.Sprintf("g%d.%s", c.Generation, s) }
+
+// New builds a PREP-UC instance inside sys. In persistent modes it also
+// writes the initial checkpoint (empty persistent replicas plus metadata) so
+// a crash before the first persistence cycle recovers an empty object.
+func New(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &PREP{
+		cfg:   cfg,
+		sys:   sys,
+		beta:  uint64(cfg.Topology.ThreadsPerNode),
+		nodes: cfg.Topology.NodesFor(cfg.Workers),
+	}
+	logKind := nvm.Volatile
+	if cfg.Mode == Durable {
+		logKind = nvm.NVM
+	}
+	logMem := sys.NewMemory(cfg.memName("log"), logKind, nvm.Interleaved, oplog.WordsFor(cfg.LogSize))
+	p.log = oplog.New(t, logMem, cfg.LogSize)
+
+	p.gctrl = sys.NewMemory(cfg.memName("gctrl"), nvm.Volatile, nvm.Interleaved, 64)
+	if cfg.Mode.Persistent() {
+		p.gctrl.Store(t, gFlushBoundary, cfg.Epsilon)
+	}
+
+	slotsBase := ctrlRW + locks.DistRWLockWords(int(p.beta))
+	for node := 0; node < p.nodes; node++ {
+		heap := sys.NewMemory(cfg.memName(fmt.Sprintf("rheap%d", node)), nvm.Volatile, node, cfg.HeapWords)
+		alloc := pmem.New(t, heap)
+		r := &replica{
+			node:      node,
+			heap:      heap,
+			alloc:     alloc,
+			ds:        cfg.Factory(t, alloc),
+			ctrl:      sys.NewMemory(cfg.memName(fmt.Sprintf("rctrl%d", node)), nvm.Volatile, node, slotsBase+p.beta*slotWords),
+			slotsBase: slotsBase,
+		}
+		r.combiner = locks.NewTryLock(r.ctrl, ctrlCombiner)
+		r.rw = locks.NewDistRWLock(r.ctrl, ctrlRW, int(p.beta))
+		if cfg.Mode == Durable {
+			r.flusher = sys.NewFlusher()
+		}
+		p.reps = append(p.reps, r)
+	}
+
+	if cfg.Mode.Persistent() {
+		pn := cfg.Topology.PersistenceNode()
+		p.meta = sys.NewMemory(cfg.memName("meta"), nvm.NVM, pn, nvm.WordsPerLine)
+		nP := 2
+		if cfg.SinglePReplica {
+			nP = 1
+		}
+		for i := 0; i < nP; i++ {
+			heap := sys.NewMemory(cfg.memName(fmt.Sprintf("pheap%d", i)), nvm.NVM, pn, cfg.HeapWords)
+			alloc := pmem.New(t, heap)
+			pr := &pReplica{id: i, heap: heap, alloc: alloc, ds: cfg.Factory(t, alloc)}
+			alloc.SetRoot(t, pTailRootSlot, 0)
+			p.preps = append(p.preps, pr)
+		}
+		p.meta.Store(t, metaActive, 0)
+		p.gctrl.Store(t, gActive, 0)
+		p.checkpoint(t)
+	}
+	return p, nil
+}
+
+// checkpoint persists every persistent replica and the metadata word.
+func (p *PREP) checkpoint(t *sim.Thread) {
+	mems := make([]*nvm.Memory, 0, 2)
+	for _, pr := range p.preps {
+		mems = append(mems, pr.heap)
+	}
+	p.sys.WBINVD(t, mems...)
+	f := p.sys.NewFlusher()
+	f.FlushLineSync(t, p.meta, metaActive)
+}
+
+// Prefill applies ops directly to every replica — volatile and persistent —
+// before measurement, then re-checkpoints the persistent state. It must run
+// before any worker executes operations (the log stays empty; prefilled
+// state plays the role of the recovered-from checkpoint).
+func (p *PREP) Prefill(t *sim.Thread, ops []uc.Op) {
+	for _, r := range p.reps {
+		for _, op := range ops {
+			r.ds.Execute(t, op.Code, op.A0, op.A1)
+		}
+	}
+	for _, pr := range p.preps {
+		for _, op := range ops {
+			pr.ds.Execute(t, op.Code, op.A0, op.A1)
+		}
+	}
+	if p.cfg.Mode.Persistent() {
+		p.checkpoint(t)
+	}
+}
+
+// Config returns the configuration the engine was built with.
+func (p *PREP) Config() Config { return p.cfg }
+
+// Log exposes the shared log (tests and the harness use it).
+func (p *PREP) Log() *oplog.Log { return p.log }
+
+// Stats returns a copy of the engine counters.
+func (p *PREP) Stats() Stats { return p.stats }
+
+// Nodes returns the number of populated NUMA nodes (volatile replicas).
+func (p *PREP) Nodes() int { return p.nodes }
+
+// flushBoundary accessors.
+func (p *PREP) flushBoundary(t *sim.Thread) uint64 { return p.gctrl.Load(t, gFlushBoundary) }
+func (p *PREP) setFlushBoundary(t *sim.Thread, v uint64) {
+	p.gctrl.Store(t, gFlushBoundary, v)
+}
+
+// pTail reads the volatile mirror of persistent replica i's localTail.
+func (p *PREP) pTail(t *sim.Thread, i int) uint64 {
+	return p.gctrl.Load(t, gPTail0+uint64(i)*nvm.WordsPerLine)
+}
+
+// setPTail writes both the volatile mirror and the NVM copy (heap root
+// slot); the NVM copy rides to the media with the next WBINVD, keeping the
+// persisted (state, localTail) pair consistent.
+func (p *PREP) setPTail(t *sim.Thread, pr *pReplica, v uint64) {
+	p.gctrl.Store(t, gPTail0+uint64(pr.id)*nvm.WordsPerLine, v)
+	pr.alloc.SetRoot(t, pTailRootSlot, v)
+}
+
+// activeP reads the volatile mirror of p_activePReplica.
+func (p *PREP) activeP(t *sim.Thread) uint64 { return p.gctrl.Load(t, gActive) }
+
+// backoff is truncated exponential backoff for spin loops. Under the
+// virtual-time scheduler a blocked thread otherwise wakes every dozen
+// nanoseconds, which is both unrealistic (real spinners execute PAUSE and
+// get descheduled) and slow to simulate.
+type backoff struct{ cur uint64 }
+
+func (b *backoff) spin(t *sim.Thread, cap uint64) {
+	if b.cur == 0 {
+		b.cur = 16
+	}
+	t.Step(b.cur)
+	if b.cur < cap {
+		b.cur *= 2
+	}
+}
+
+func (b *backoff) reset() { b.cur = 0 }
+
+// Execute implements the paper's ExecuteConcurrent: run op on behalf of
+// worker tid and return its result.
+func (p *PREP) Execute(t *sim.Thread, tid int, op uc.Op) uint64 {
+	t.Step(p.sys.Costs().OpBase)
+	node := p.cfg.Topology.NodeOf(tid)
+	rep := p.reps[node]
+	slot := p.cfg.Topology.SlotOf(tid)
+	if rep.ds.IsReadOnly(op.Code) {
+		p.stats.Reads++
+		return p.readOnly(t, rep, slot, op)
+	}
+	p.stats.Updates++
+	return p.update(t, rep, slot, op)
+}
+
+// readOnly performs a read-only operation: the thread waits (helping if it
+// can) until the local replica has applied everything up to completedTail,
+// then reads under its slot of the distributed reader lock (§3).
+func (p *PREP) readOnly(t *sim.Thread, rep *replica, slot int, op uc.Op) uint64 {
+	ct := p.log.CompletedTail(t)
+	var b backoff
+	for rep.localTail(t) < ct {
+		if rep.combiner.TryAcquire(t) {
+			if rep.localTail(t) < ct {
+				rep.rw.WriteLock(t)
+				p.catchUp(t, rep, p.log.CompletedTail(t))
+				rep.rw.WriteUnlock(t)
+			}
+			rep.combiner.Release(t)
+			break
+		}
+		b.spin(t, 512)
+	}
+	rep.rw.ReadLock(t, slot)
+	res := rep.ds.Execute(t, op.Code, op.A0, op.A1)
+	rep.rw.ReadUnlock(t, slot)
+	return res
+}
+
+// catchUp applies log entries [localTail, upTo) to rep. Callers hold the
+// replica's combiner lock and write lock.
+func (p *PREP) catchUp(t *sim.Thread, rep *replica, upTo uint64) {
+	from := rep.localTail(t)
+	if from >= upTo {
+		return
+	}
+	p.applyLog(t, rep.ds, from, upTo, nil, func(applied uint64) {
+		rep.setLocalTail(t, applied)
+	})
+}
+
+// applyLog replays entries [from, to) onto ds, spinning until each entry is
+// full. When f is non-nil (a durable-mode combiner about to advance
+// completedTail), every applied entry's line is also asynchronously flushed
+// so that the caller's fence + completedTail persist cannot cover an
+// unpersisted entry of another combiner (see DESIGN.md §3).
+//
+// progress (optional) is invoked after each applied entry with the new
+// applied-up-to index. Publishing the replica's localTail incrementally is
+// load-bearing for liveness: an applier can stall mid-replay on an entry
+// that a *blocked* combiner reserved but has not written, and that combiner
+// may itself be waiting (in UpdateOrWaitOnLogMin) for this replica's
+// localTail to move past the reuse horizon — without incremental progress
+// the two would deadlock.
+func (p *PREP) applyLog(t *sim.Thread, ds uc.DataStructure, from, to uint64, f *nvm.Flusher, progress func(uint64)) {
+	for idx := from; idx < to; idx++ {
+		var b backoff
+		for !p.log.IsFull(t, idx) {
+			b.spin(t, 512)
+		}
+		code, a0, a1 := p.log.ReadEntry(t, idx)
+		if f != nil {
+			f.FlushLine(t, p.log.Mem(), p.log.EntryOff(idx))
+		}
+		ds.Execute(t, code, a0, a1)
+		if progress != nil {
+			progress(idx + 1)
+		}
+	}
+}
+
+// update performs an update operation through flat combining (§3): publish
+// the op in this thread's batch slot, then either become the combiner or
+// wait for a combiner to deliver the response.
+func (p *PREP) update(t *sim.Thread, rep *replica, slot int, op uc.Op) uint64 {
+	so := rep.slotOff(slot)
+	rep.ctrl.Store(t, so+slotCode, op.Code)
+	rep.ctrl.Store(t, so+slotA0, op.A0)
+	rep.ctrl.Store(t, so+slotA1, op.A1)
+	rep.ctrl.Store(t, so+slotState, slotPending)
+	var b backoff
+	for {
+		if rep.ctrl.Load(t, so+slotState) == slotDone {
+			rep.ctrl.Store(t, so+slotState, slotEmpty)
+			return rep.ctrl.Load(t, so+slotResp)
+		}
+		if rep.combiner.TryAcquire(t) {
+			if rep.ctrl.Load(t, so+slotState) == slotDone {
+				// A previous combiner already serviced us.
+				rep.combiner.Release(t)
+				rep.ctrl.Store(t, so+slotState, slotEmpty)
+				return rep.ctrl.Load(t, so+slotResp)
+			}
+			res := p.combine(t, rep, slot)
+			rep.combiner.Release(t)
+			return res
+		}
+		b.spin(t, 1024)
+	}
+}
+
+// combine runs the combiner protocol for rep. The caller holds rep's
+// combiner lock and has a pending op in mySlot. Returns the caller's result.
+func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
+	p.stats.Combines++
+	durable := p.cfg.Mode == Durable
+	f := rep.flusher // nil outside durable mode
+
+	// Collect the batch: every pending slot on this node (or just ours under
+	// the no-batching ablation).
+	var batch []int
+	if p.cfg.NoBatching {
+		batch = append(batch, mySlot)
+	} else {
+		for s := 0; s < int(p.beta); s++ {
+			if rep.ctrl.Load(t, rep.slotOff(s)+slotState) == slotPending {
+				batch = append(batch, s)
+			}
+		}
+	}
+	num := uint64(len(batch))
+	p.stats.CombinedOps += num
+
+	tail := p.reserveLogEntries(t, rep, num)
+	newTail := tail + num
+
+	// Write arguments and codes for the whole batch; durable mode flushes
+	// each entry line and fences once (§4.1), then sets emptyBits, flushes
+	// and fences again so full marks are durable before completedTail can
+	// cover them.
+	for i, s := range batch {
+		so := rep.slotOff(s)
+		code := rep.ctrl.Load(t, so+slotCode)
+		a0 := rep.ctrl.Load(t, so+slotA0)
+		a1 := rep.ctrl.Load(t, so+slotA1)
+		p.log.WriteArgs(t, tail+uint64(i), code, a0, a1)
+		if durable {
+			f.FlushLine(t, p.log.Mem(), p.log.EntryOff(tail+uint64(i)))
+		}
+	}
+	if durable {
+		f.Fence(t)
+	}
+	for i := uint64(0); i < num; i++ {
+		p.log.SetFull(t, tail+i)
+		if durable {
+			f.FlushLine(t, p.log.Mem(), p.log.EntryOff(tail+i))
+		}
+	}
+
+	rep.rw.WriteLock(t)
+	// Bring the local replica up to date with operations preceding our
+	// batch; in durable mode their entry lines join our pending flush set.
+	// localTail is published per applied entry (see applyLog) and then
+	// advanced over our own batch, which we are guaranteed to apply below.
+	p.applyLog(t, rep.ds, rep.localTail(t), tail, f, func(applied uint64) {
+		rep.setLocalTail(t, applied)
+	})
+	rep.setLocalTail(t, newTail)
+	if durable {
+		f.Fence(t)
+	}
+
+	// Advance completedTail to cover the batch (monotonic CAS loop), and in
+	// durable mode make it persistent before any response is written.
+	for {
+		ct := p.log.CompletedTail(t)
+		if ct >= newTail {
+			break
+		}
+		if p.log.CASCompletedTail(t, ct, newTail) {
+			break
+		}
+	}
+	if durable {
+		p.log.PersistCompletedTail(t, f, newTail, !p.cfg.NoCTailElide)
+	}
+
+	// Apply the batch and deliver responses.
+	var myRes uint64
+	for i, s := range batch {
+		code, a0, a1 := p.log.ReadEntry(t, tail+uint64(i))
+		res := rep.ds.Execute(t, code, a0, a1)
+		so := rep.slotOff(s)
+		if s == mySlot {
+			myRes = res
+			rep.ctrl.Store(t, so+slotState, slotEmpty)
+		} else {
+			rep.ctrl.Store(t, so+slotResp, res)
+			rep.ctrl.Store(t, so+slotState, slotDone)
+		}
+	}
+	rep.rw.WriteUnlock(t)
+	return myRes
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"prepuc/internal/nvm"
+	"prepuc/internal/oplog"
+	"prepuc/internal/pmem"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// RecoveryReport describes what recovery found and rebuilt.
+type RecoveryReport struct {
+	// StableReplica is the persistent replica recovery started from.
+	StableReplica int
+	// StableLocalTail is the log index the stable replica was persisted at.
+	StableLocalTail uint64
+	// CompletedTail is the recovered completedTail (durable mode only).
+	CompletedTail uint64
+	// Replayed is the number of log entries re-applied (durable mode only).
+	Replayed uint64
+	// Holes is the number of skipped not-fully-persisted entries during
+	// replay; with the engine's flush protocol this is always 0 below
+	// completedTail and a non-zero value indicates a protocol violation.
+	Holes uint64
+}
+
+// Recover rebuilds a PREP-UC instance from the NVM contents that survived a
+// crash (§5.1, §5.2). recSys must come from nvm.System.Recover, and oldCfg
+// must be the configuration of the crashed instance. The rebuilt engine uses
+// generation oldCfg.Generation+1 for its memory names; the crashed
+// generation's NVM regions are read but never written (except the stable
+// replica's heap during durable log replay, mirroring the paper's "bring the
+// active persistent replica up-to-date" step).
+//
+// Buffered mode recovers exactly the stable persistent replica's state: all
+// replicas are instantiated as copies of it, every index is reset, and the
+// (volatile, hence lost) log starts empty. Durable mode first replays the
+// persisted log entries in [stable.localTail, completedTail) on top of the
+// stable state, so every completed operation is recovered.
+func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*PREP, *RecoveryReport, error) {
+	if !oldCfg.Mode.Persistent() {
+		return nil, nil, fmt.Errorf("core: cannot recover a volatile instance")
+	}
+	rep := &RecoveryReport{}
+
+	// Identify the stable persistent replica via p_activePReplica.
+	meta := recSys.Memory(oldCfg.memName("meta"))
+	active := meta.Load(t, metaActive)
+	stable := 1 - active
+	if oldCfg.SinglePReplica {
+		stable = 0
+	}
+	rep.StableReplica = int(stable)
+
+	sheap := recSys.Memory(oldCfg.memName(fmt.Sprintf("pheap%d", stable)))
+	salloc := pmem.Attach(t, sheap)
+	sds := oldCfg.Attacher(t, salloc)
+	rep.StableLocalTail = salloc.Root(t, pTailRootSlot)
+
+	if oldCfg.Mode == Durable {
+		logMem := recSys.Memory(oldCfg.memName("log"))
+		l := oplog.Attach(logMem, oldCfg.LogSize)
+		rep.CompletedTail = l.PersistedCompletedTail()
+		for idx := rep.StableLocalTail; idx < rep.CompletedTail; idx++ {
+			if !l.PersistedIsFull(idx) {
+				rep.Holes++
+				continue
+			}
+			code, a0, a1 := l.PersistedReadEntry(idx)
+			sds.Execute(t, code, a0, a1)
+			rep.Replayed++
+		}
+	}
+
+	// Build a fresh engine one generation up and instantiate every replica —
+	// volatile and persistent — as a copy of the recovered state.
+	ncfg := oldCfg
+	ncfg.Generation++
+	p, err := New(t, recSys, ncfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range p.reps {
+		uc.Clone(t, sds, r.ds)
+	}
+	for _, pr := range p.preps {
+		uc.Clone(t, sds, pr.ds)
+	}
+	// Persist the rebuilt persistent replicas and metadata so an immediate
+	// second crash recovers the same state.
+	p.checkpoint(t)
+	return p, rep, nil
+}

@@ -1,0 +1,46 @@
+package core
+
+import "prepuc/internal/sim"
+
+// Snapshot is a point-in-time view of the engine's indexes — Table 1 of
+// the paper made inspectable. It is intended for debugging, tooling and
+// tests; reading it participates in the simulation (the loads are charged)
+// but takes no locks, so values may be mutually inconsistent under
+// concurrency, exactly like a debugger attached to the real system.
+type Snapshot struct {
+	// LogTail is the next free log entry (reservation horizon).
+	LogTail uint64
+	// CompletedTail is the last entry applied to some replica.
+	CompletedTail uint64
+	// LogMin is the reuse horizon: entries before LogMin−LogSize+1 may be
+	// overwritten.
+	LogMin uint64
+	// FlushBoundary gates reservations in persistent modes (0 otherwise).
+	FlushBoundary uint64
+	// ActivePReplica identifies the persistent replica receiving updates.
+	ActivePReplica uint64
+	// LocalTails holds each volatile replica's applied-up-to index.
+	LocalTails []uint64
+	// PTails holds the persistent replicas' applied-up-to indexes.
+	PTails []uint64
+}
+
+// Snapshot reads the engine's current indexes.
+func (p *PREP) Snapshot(t *sim.Thread) Snapshot {
+	s := Snapshot{
+		LogTail:       p.log.LogTail(t),
+		CompletedTail: p.log.CompletedTail(t),
+		LogMin:        p.log.LogMin(t),
+	}
+	for _, r := range p.reps {
+		s.LocalTails = append(s.LocalTails, r.localTail(t))
+	}
+	if p.cfg.Mode.Persistent() {
+		s.FlushBoundary = p.flushBoundary(t)
+		s.ActivePReplica = p.activeP(t)
+		for i := range p.preps {
+			s.PTails = append(s.PTails, p.pTail(t, i))
+		}
+	}
+	return s
+}

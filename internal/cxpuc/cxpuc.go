@@ -1,0 +1,134 @@
+// Package cxpuc implements CX-PUC (Correia et al., EuroSys '20), the
+// persistent universal construction PREP-UC is evaluated against.
+//
+// Structure (§2.3 of the PREP-UC paper):
+//
+//   - A shared global queue establishes the linearization order of update
+//     operations.
+//   - Up to 2n persistent replicas of the sequential object, each guarded by
+//     a strong try reader–writer lock. A writer locks some replica (never
+//     the currently published one), brings it up to date with the queue
+//     through its own operation, flushes the ENTIRE replica to NVM — the
+//     design decision that dominates its cost profile — persists the
+//     replica's applied index, and publishes the replica with a CAS on a
+//     persistent "latest" pointer.
+//   - Readers execute on the currently published (persistent!) replica under
+//     a shared try-lock, paying NVM read latency.
+//
+// Simplifications relative to the original, none of which change the cost
+// profile the evaluation measures (see DESIGN.md §2): the replica count is
+// min(2n, CapReplicas) to bound simulated memory; the queue is a bounded
+// buffer sized for the run (CX's queue nodes are volatile: operations are
+// durable only through published replicas, so recovery never reads it); and
+// the whole-replica write-back is modelled as one bulk flush of the
+// replica's used address range, as CX-PUC's allocator-assisted range flush
+// does.
+package cxpuc
+
+import (
+	"fmt"
+
+	"prepuc/internal/locks"
+	"prepuc/internal/nvm"
+	"prepuc/internal/pmem"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// Config parameterizes CX-PUC.
+type Config struct {
+	Workers   int
+	Factory   uc.Factory
+	Attacher  uc.Attacher
+	HeapWords uint64
+	// QueueCapacity bounds the operation queue; the run must not exceed it.
+	QueueCapacity uint64
+	// CapReplicas bounds the replica count (the original uses 2n).
+	CapReplicas int
+	// Generation disambiguates memory names across crash/recovery cycles.
+	Generation int
+}
+
+// Queue entry layout: one line per op [state, code, a0, a1].
+const (
+	qeState = 0
+	qeCode  = 1
+	qeA0    = 2
+	qeA1    = 3
+)
+
+// published pointer layout in the meta memory: word 0 holds
+// index<<8 | replicaID (index = number of ops applied in that replica).
+const metaLatest = 0
+
+const ctrlQTail = 0 // queue tail index, in volatile control memory
+
+type cxReplica struct {
+	id      int
+	heap    *nvm.Memory
+	alloc   *pmem.Allocator
+	ds      uc.DataStructure
+	lock    locks.RWLock
+	applied uint64 // ops applied (mirrors the NVM copy in heap root slot 1)
+}
+
+const appliedRootSlot = 1
+
+// CX is one CX-PUC instance.
+type CX struct {
+	cfg   Config
+	sys   *nvm.System
+	queue *nvm.Memory // volatile op queue
+	ctrl  *nvm.Memory // volatile control (queue tail)
+	meta  *nvm.Memory // NVM: published (index, replica) word
+	reps  []*cxReplica
+	flush *nvm.Flusher
+}
+
+var _ uc.UC = (*CX)(nil)
+
+func (c Config) memName(s string) string { return fmt.Sprintf("cx.g%d.%s", c.Generation, s) }
+
+// New builds a CX-PUC instance inside sys.
+func New(t *sim.Thread, sys *nvm.System, cfg Config) (*CX, error) {
+	if cfg.Workers <= 0 || cfg.Factory == nil || cfg.HeapWords == 0 {
+		return nil, fmt.Errorf("cxpuc: incomplete config")
+	}
+	if cfg.QueueCapacity == 0 {
+		cfg.QueueCapacity = 1 << 20
+	}
+	nReps := 2 * cfg.Workers
+	if cfg.CapReplicas > 0 && nReps > cfg.CapReplicas {
+		nReps = cfg.CapReplicas
+	}
+	if nReps < 2 {
+		nReps = 2
+	}
+	cx := &CX{cfg: cfg, sys: sys}
+	cx.queue = sys.NewMemory(cfg.memName("queue"), nvm.Volatile, nvm.Interleaved,
+		cfg.QueueCapacity*nvm.WordsPerLine)
+	// Control memory: queue tail at word 0, then one lock word per replica
+	// (each on its own line). Lock state is volatile in CX-PUC too.
+	cx.ctrl = sys.NewMemory(cfg.memName("ctrl"), nvm.Volatile, nvm.Interleaved,
+		uint64(nReps+1)*nvm.WordsPerLine)
+	cx.meta = sys.NewMemory(cfg.memName("meta"), nvm.NVM, 0, nvm.WordsPerLine)
+	cx.flush = sys.NewFlusher()
+	for i := 0; i < nReps; i++ {
+		heap := sys.NewMemory(cfg.memName(fmt.Sprintf("rep%d", i)), nvm.NVM, i%2, cfg.HeapWords)
+		alloc := pmem.New(t, heap)
+		r := &cxReplica{
+			id:    i,
+			heap:  heap,
+			alloc: alloc,
+			ds:    cfg.Factory(t, alloc),
+			lock:  locks.NewRWLock(cx.ctrl, uint64(i+1)*nvm.WordsPerLine),
+		}
+		alloc.SetRoot(t, appliedRootSlot, 0)
+		cx.reps = append(cx.reps, r)
+	}
+	// Publish replica 0 (empty, applied=0) and persist the initial state.
+	cx.meta.Store(t, metaLatest, 0)
+	cx.reps[0].heap.FlushRegion(t, 0, cx.reps[0].alloc.HeapTop(t))
+	cx.flush.FlushLineSync(t, cx.meta, metaLatest)
+	return cx, nil
+}

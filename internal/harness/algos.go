@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"prepuc/internal/core"
+	"prepuc/internal/cxpuc"
+	"prepuc/internal/gluc"
+	"prepuc/internal/nvm"
+	"prepuc/internal/onll"
+	"prepuc/internal/sim"
+	"prepuc/internal/soft"
+	"prepuc/internal/uc"
+)
+
+// prepSystem adapts core.PREP to the harness, wiring the persistence
+// thread into the Background lifecycle.
+type prepSystem struct{ *core.PREP }
+
+func (p prepSystem) SpawnBackground() {
+	if p.Config().Mode.Persistent() {
+		p.SpawnPersistence(0)
+	}
+}
+
+func (p prepSystem) StopBackground(t *sim.Thread) {
+	if p.Config().Mode.Persistent() {
+		p.StopPersistence(t)
+	}
+}
+
+// PREPBuilder builds PREP-V / PREP-Buffered / PREP-Durable around the given
+// sequential object.
+func PREPBuilder(mode core.Mode, epsilon uint64, factory uc.Factory, attacher uc.Attacher, heapWords func(Scale) uint64) BuildFunc {
+	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
+		cfg := core.Config{
+			Mode:      mode,
+			Topology:  sc.Topology,
+			Workers:   workers,
+			LogSize:   sc.LogSize,
+			Epsilon:   epsilon,
+			Factory:   factory,
+			Attacher:  attacher,
+			HeapWords: heapWords(sc),
+		}
+		p, err := core.New(t, sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return prepSystem{p}, nil
+	}
+}
+
+// GLBuilder builds the global-lock baseline.
+func GLBuilder(factory uc.Factory, heapWords func(Scale) uint64) BuildFunc {
+	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
+		return gluc.New(t, sys, gluc.Config{
+			Factory:   factory,
+			HeapWords: heapWords(sc),
+			HomeNode:  0,
+		}), nil
+	}
+}
+
+// CXBuilder builds the CX-PUC baseline.
+func CXBuilder(factory uc.Factory, attacher uc.Attacher, heapWords func(Scale) uint64) BuildFunc {
+	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
+		return cxpuc.New(t, sys, cxpuc.Config{
+			Workers:       workers,
+			Factory:       factory,
+			Attacher:      attacher,
+			HeapWords:     heapWords(sc),
+			QueueCapacity: sc.CXQueueCap,
+			CapReplicas:   sc.CXCapReplicas,
+		})
+	}
+}
+
+// SOFTBuilder builds the hand-crafted SOFT hashtable baseline.
+func SOFTBuilder(buckets func(Scale) uint64) BuildFunc {
+	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
+		words := sc.KeyRange * 16
+		if words < 1<<18 {
+			words = 1 << 18
+		}
+		return soft.New(t, sys, soft.Config{
+			Buckets:         buckets(sc),
+			VolatileWords:   words,
+			PersistentWords: words,
+		}), nil
+	}
+}
+
+// ONLLBuilder builds the ONLL extension baseline (per-thread persistent
+// logs, durable linearizability).
+func ONLLBuilder(factory uc.Factory, heapWords func(Scale) uint64) BuildFunc {
+	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
+		return onll.New(t, sys, onll.Config{
+			Workers:    workers,
+			Factory:    factory,
+			HeapWords:  heapWords(sc),
+			LogEntries: sc.ONLLLogEntries,
+		})
+	}
+}
+
+// PREPAblationBuilder exposes the engine's ablation switches.
+func PREPAblationBuilder(mode core.Mode, epsilon uint64, factory uc.Factory, attacher uc.Attacher,
+	heapWords func(Scale) uint64, mut func(*core.Config)) BuildFunc {
+	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
+		cfg := core.Config{
+			Mode:      mode,
+			Topology:  sc.Topology,
+			Workers:   workers,
+			LogSize:   sc.LogSize,
+			Epsilon:   epsilon,
+			Factory:   factory,
+			Attacher:  attacher,
+			HeapWords: heapWords(sc),
+		}
+		mut(&cfg)
+		p, err := core.New(t, sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return prepSystem{p}, nil
+	}
+}

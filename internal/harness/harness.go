@@ -1,0 +1,178 @@
+// Package harness runs the paper's evaluation (§6): it builds each
+// system (PREP-V, PREP-Buffered, PREP-Durable, CX-PUC, the global-lock UC,
+// and the SOFT hashtable) at each thread count, prefills the object to the
+// paper's occupancy, drives the workload for a fixed span of virtual time,
+// and reports throughput in operations per (virtual) second — regenerating
+// every figure of the evaluation. See catalog.go for the figure definitions.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+	"prepuc/internal/workload"
+)
+
+// System is what the harness drives: any universal construction (or
+// hand-crafted structure) exposing ExecuteConcurrent and a direct prefill.
+type System interface {
+	Execute(t *sim.Thread, tid int, op uc.Op) uint64
+	Prefill(t *sim.Thread, ops []uc.Op)
+}
+
+// Background is implemented by systems that need auxiliary threads during
+// measurement (PREP-UC's persistence thread).
+type Background interface {
+	// SpawnBackground starts auxiliary threads on the system's current
+	// scheduler.
+	SpawnBackground()
+	// StopBackground asks them to exit; called by the last worker.
+	StopBackground(t *sim.Thread)
+}
+
+// BuildFunc constructs a System for the given worker count inside sys.
+type BuildFunc func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error)
+
+// AlgoSpec names one curve of a figure.
+type AlgoSpec struct {
+	Name  string
+	Build BuildFunc
+}
+
+// Point is one measurement.
+type Point struct {
+	Algo      string
+	Threads   int
+	Ops       uint64
+	OpsPerSec float64
+}
+
+// Figure is one reproducible experiment: a workload plus the systems
+// compared on it.
+type Figure struct {
+	ID, Title string
+	Workload  workload.Spec
+	Algos     []AlgoSpec
+	// ExpectedShape documents the qualitative result the paper reports,
+	// checked in EXPERIMENTS.md.
+	ExpectedShape string
+}
+
+// RunFigure measures every (algo, thread-count) pair of the figure and
+// returns the points. Progress lines go to w when non-nil.
+func RunFigure(fig Figure, sc Scale, seed int64, w io.Writer) []Point {
+	var points []Point
+	for _, algo := range fig.Algos {
+		for _, threads := range sc.Threads {
+			p := runPoint(fig, sc, algo, threads, seed)
+			points = append(points, p)
+			if w != nil {
+				fmt.Fprintf(w, "  %-22s threads=%-3d ops=%-10d %12.0f ops/s\n",
+					algo.Name, threads, p.Ops, p.OpsPerSec)
+			}
+		}
+	}
+	return points
+}
+
+// runPoint measures one (algo, threads) configuration.
+func runPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64) Point {
+	// Boot phase: build and prefill on a single thread.
+	bootSch := sim.New(seed)
+	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed) + 1})
+	var sysImpl System
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) {
+		sysImpl, err = algo.Build(t, sys, sc, threads)
+		if err != nil {
+			return
+		}
+		sysImpl.Prefill(t, fig.Workload.PrefillOps(seed))
+	})
+	bootSch.Run()
+	if err != nil {
+		panic(fmt.Sprintf("harness: build %s: %v", algo.Name, err))
+	}
+
+	// Measurement phase: fresh virtual timeline.
+	sch := sim.New(seed + 7)
+	sys.SetScheduler(sch)
+	if bg, ok := sysImpl.(Background); ok {
+		bg.SpawnBackground()
+	}
+	opsDone := make([]uint64, threads)
+	remaining := threads
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		node := sc.Topology.NodeOf(tid)
+		sch.Spawn("worker", node, 0, func(t *sim.Thread) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					if bg, ok := sysImpl.(Background); ok {
+						bg.StopBackground(t)
+					}
+				}
+			}()
+			gen := workload.NewGen(fig.Workload, seed+13, tid)
+			for t.Clock() < sc.DurationNS {
+				op := gen.Next()
+				sysImpl.Execute(t, tid, op)
+				opsDone[tid]++
+			}
+		})
+	}
+	sch.Run()
+
+	var total uint64
+	for _, n := range opsDone {
+		total += n
+	}
+	return Point{
+		Algo:      algo.Name,
+		Threads:   threads,
+		Ops:       total,
+		OpsPerSec: float64(total) / (float64(sc.DurationNS) / 1e9),
+	}
+}
+
+// WriteTable renders points as the paper's series: one row per thread
+// count, one column per algorithm.
+func WriteTable(w io.Writer, fig Figure, points []Point) {
+	fmt.Fprintf(w, "\n%s — %s (ops/sec)\n", fig.ID, fig.Title)
+	byAlgo := map[string]map[int]float64{}
+	threadSet := map[int]bool{}
+	var algos []string
+	for _, p := range points {
+		if byAlgo[p.Algo] == nil {
+			byAlgo[p.Algo] = map[int]float64{}
+			algos = append(algos, p.Algo)
+		}
+		byAlgo[p.Algo][p.Threads] = p.OpsPerSec
+		threadSet[p.Threads] = true
+	}
+	var threads []int
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	fmt.Fprintf(w, "%8s", "threads")
+	for _, a := range algos {
+		fmt.Fprintf(w, " %22s", a)
+	}
+	fmt.Fprintln(w)
+	for _, th := range threads {
+		fmt.Fprintf(w, "%8d", th)
+		for _, a := range algos {
+			fmt.Fprintf(w, " %22.0f", byAlgo[a][th])
+		}
+		fmt.Fprintln(w)
+	}
+	if fig.ExpectedShape != "" {
+		fmt.Fprintf(w, "expected shape: %s\n", fig.ExpectedShape)
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogCoversEveryFigure(t *testing.T) {
+	figs := Catalog(TinyScale())
+	for _, id := range []string{
+		"fig1a", "fig1b", "fig1c",
+		"fig2a", "fig2b", "fig3",
+		"fig4a", "fig4b", "fig5a", "fig5b",
+		"fig6a", "fig6b",
+		"ablation-batching", "ablation-flush", "ablation-ctail",
+	} {
+		fig, ok := figs[id]
+		if !ok {
+			t.Errorf("catalog missing %s", id)
+			continue
+		}
+		if len(fig.Algos) < 2 {
+			t.Errorf("%s compares %d algorithms, want ≥ 2", id, len(fig.Algos))
+		}
+		if fig.ExpectedShape == "" {
+			t.Errorf("%s lacks an expected shape", id)
+		}
+	}
+}
+
+func TestRunPointProducesOps(t *testing.T) {
+	sc := TinyScale()
+	figs := Catalog(sc)
+	for _, id := range []string{"fig1a", "fig2a", "fig5a", "fig6a"} {
+		fig := figs[id]
+		points := RunFigure(fig, sc, 1, nil)
+		if len(points) != len(fig.Algos)*len(sc.Threads) {
+			t.Fatalf("%s produced %d points, want %d", id, len(points), len(fig.Algos)*len(sc.Threads))
+		}
+		for _, p := range points {
+			if p.Ops == 0 {
+				t.Errorf("%s %s@%d executed no operations", id, p.Algo, p.Threads)
+			}
+			if p.OpsPerSec <= 0 {
+				t.Errorf("%s %s@%d throughput %f", id, p.Algo, p.Threads, p.OpsPerSec)
+			}
+		}
+	}
+}
+
+func TestRunFigureDeterministic(t *testing.T) {
+	sc := TinyScale()
+	fig := Catalog(sc)["fig1a"]
+	a := RunFigure(fig, sc, 42, nil)
+	b := RunFigure(fig, sc, 42, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	sc := TinyScale()
+	fig := Catalog(sc)["fig1a"]
+	points := RunFigure(fig, sc, 3, nil)
+	var sb strings.Builder
+	WriteTable(&sb, fig, points)
+	out := sb.String()
+	for _, want := range []string{"fig1a", "threads", "PREP-V", "GL", "expected shape"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalesValid(t *testing.T) {
+	for _, sc := range []Scale{TinyScale(), SmallScale(), PaperScale()} {
+		beta := uint64(sc.Topology.ThreadsPerNode)
+		if sc.EpsLarge > sc.LogSize-beta-1 {
+			t.Errorf("%s: EpsLarge %d violates ε ≤ LogSize−β−1", sc.Name, sc.EpsLarge)
+		}
+		for _, eps := range sc.EpsSweep {
+			if eps > sc.LogSize-beta-1 {
+				t.Errorf("%s: sweep ε %d violates bound", sc.Name, eps)
+			}
+		}
+		for _, th := range sc.Threads {
+			if th > sc.Topology.TotalThreads() {
+				t.Errorf("%s: %d threads exceed topology", sc.Name, th)
+			}
+		}
+	}
+}

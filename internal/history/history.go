@@ -1,0 +1,81 @@
+// Package history verifies crash-recovery outcomes against the correctness
+// conditions of Izraelevitz et al.: durable linearizability (every completed
+// operation survives) and buffered durable linearizability (the recovered
+// state is a prefix of the completed history, with PREP-Buffered's ε+β−1
+// loss bound).
+//
+// The verification protocol (used by the crash tests and cmd/crashtest):
+// every worker inserts a per-worker sequence of distinct keys and records,
+// host-side, how many of its operations completed (Execute returned) before
+// the crash. Because one worker's operations enter the shared log in program
+// order, the recovered key set restricted to one worker must be a prefix of
+// that worker's insertion order — regardless of how workers interleave.
+package history
+
+import "fmt"
+
+// Key encodes worker tid's i-th key. Workers must insert Key(tid, 0),
+// Key(tid, 1), … in order.
+func Key(tid int, i uint64) uint64 { return uint64(tid)<<32 | i }
+
+// Report summarizes a crash-recovery check.
+type Report struct {
+	Workers          int
+	Completed        uint64 // ops whose Execute returned before the crash
+	Recovered        uint64 // of those, found after recovery
+	LostCompleted    uint64 // completed but missing
+	ExtraRecovered   uint64 // recovered beyond the completed count (in-flight ops)
+	PrefixViolations int    // workers whose recovered keys are not a prefix
+}
+
+// Check evaluates recovered key presence against per-worker completion
+// counts. keys[tid][i] reports whether Key(tid, i) survived recovery;
+// keys[tid] should extend past completed[tid] to detect in-flight ops.
+func Check(keys [][]bool, completed []uint64) Report {
+	r := Report{Workers: len(keys)}
+	for tid := range keys {
+		r.Completed += completed[tid]
+		firstMissing := uint64(len(keys[tid]))
+		for i, ok := range keys[tid] {
+			if !ok {
+				firstMissing = uint64(i)
+				break
+			}
+		}
+		prefixOK := true
+		for i := firstMissing; i < uint64(len(keys[tid])); i++ {
+			if keys[tid][i] {
+				prefixOK = false
+				break
+			}
+		}
+		if !prefixOK {
+			r.PrefixViolations++
+		}
+		if completed[tid] > firstMissing {
+			r.LostCompleted += completed[tid] - firstMissing
+			r.Recovered += firstMissing
+		} else {
+			r.Recovered += completed[tid]
+			r.ExtraRecovered += firstMissing - completed[tid]
+		}
+	}
+	return r
+}
+
+// DurableOK reports whether the outcome satisfies durable linearizability.
+func (r Report) DurableOK() bool {
+	return r.LostCompleted == 0 && r.PrefixViolations == 0
+}
+
+// BufferedOK reports whether the outcome satisfies buffered durable
+// linearizability with PREP-Buffered's loss bound for the given ε and β.
+func (r Report) BufferedOK(epsilon, beta uint64) bool {
+	return r.PrefixViolations == 0 && r.LostCompleted <= epsilon+beta-1
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("workers=%d completed=%d recovered=%d lost=%d extra=%d prefix-violations=%d",
+		r.Workers, r.Completed, r.Recovered, r.LostCompleted, r.ExtraRecovered, r.PrefixViolations)
+}

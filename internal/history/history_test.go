@@ -1,0 +1,75 @@
+package history
+
+import "testing"
+
+func mk(pattern []bool) [][]bool { return [][]bool{pattern} }
+
+func TestAllCompletedRecovered(t *testing.T) {
+	r := Check(mk([]bool{true, true, true, false, false}), []uint64{3})
+	if !r.DurableOK() {
+		t.Errorf("expected durable OK: %s", r)
+	}
+	if r.Recovered != 3 || r.LostCompleted != 0 {
+		t.Errorf("report %s", r)
+	}
+}
+
+func TestLossCounted(t *testing.T) {
+	r := Check(mk([]bool{true, false, false, false, false}), []uint64{4})
+	if r.DurableOK() {
+		t.Error("lost ops but durable OK")
+	}
+	if r.LostCompleted != 3 {
+		t.Errorf("lost = %d, want 3", r.LostCompleted)
+	}
+	if !r.BufferedOK(4, 1) {
+		t.Error("loss 3 within ε+β−1 = 4 should pass buffered")
+	}
+	if r.BufferedOK(2, 1) {
+		t.Error("loss 3 beyond ε+β−1 = 2 should fail buffered")
+	}
+}
+
+func TestPrefixViolationDetected(t *testing.T) {
+	r := Check(mk([]bool{true, false, true}), []uint64{3})
+	if r.PrefixViolations != 1 {
+		t.Errorf("prefix violations = %d, want 1", r.PrefixViolations)
+	}
+	if r.DurableOK() || r.BufferedOK(100, 100) {
+		t.Error("prefix violation must fail both conditions")
+	}
+}
+
+func TestExtraRecoveredInFlight(t *testing.T) {
+	// 2 completed, 4 recovered: the 2 extra were in flight — legal.
+	r := Check(mk([]bool{true, true, true, true, false}), []uint64{2})
+	if !r.DurableOK() {
+		t.Errorf("in-flight extras must not violate durability: %s", r)
+	}
+	if r.ExtraRecovered != 2 {
+		t.Errorf("extra = %d, want 2", r.ExtraRecovered)
+	}
+}
+
+func TestMultiWorkerAggregation(t *testing.T) {
+	keys := [][]bool{
+		{true, true, false, false},
+		{true, false, false, false},
+	}
+	r := Check(keys, []uint64{2, 3})
+	if r.Completed != 5 || r.Recovered != 3 || r.LostCompleted != 2 {
+		t.Errorf("report %s", r)
+	}
+	if r.Workers != 2 {
+		t.Errorf("workers = %d", r.Workers)
+	}
+}
+
+func TestKeyEncoding(t *testing.T) {
+	if Key(3, 7) != 3<<32|7 {
+		t.Error("key encoding changed")
+	}
+	if Key(0, 5) == Key(1, 5) {
+		t.Error("keys collide across workers")
+	}
+}

@@ -1,0 +1,70 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any prefix-shaped recovery outcome, the report's accounting
+// balances — recovered + lost = completed when the prefix is shorter than
+// completion, and extras only appear beyond it — and the bound predicate is
+// monotone in ε.
+func TestCheckAccountingProperty(t *testing.T) {
+	f := func(prefixSeed, completedSeed uint8) bool {
+		prefix := uint64(prefixSeed % 64)
+		completed := uint64(completedSeed % 64)
+		n := prefix
+		if completed > n {
+			n = completed
+		}
+		keys := make([]bool, n+8)
+		for i := uint64(0); i < prefix; i++ {
+			keys[i] = true
+		}
+		r := Check([][]bool{keys}, []uint64{completed})
+		if r.PrefixViolations != 0 {
+			return false
+		}
+		if prefix >= completed {
+			if r.LostCompleted != 0 || r.Recovered != completed || r.ExtraRecovered != prefix-completed {
+				return false
+			}
+			if !r.DurableOK() {
+				return false
+			}
+		} else {
+			if r.Recovered != prefix || r.LostCompleted != completed-prefix {
+				return false
+			}
+			if r.DurableOK() {
+				return false
+			}
+		}
+		// Monotonicity of the buffered bound in ε.
+		okSmall := r.BufferedOK(1, 1)
+		okLarge := r.BufferedOK(1<<20, 1)
+		return (!okSmall || okLarge) && okLarge
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any non-prefix pattern is flagged, regardless of where the hole
+// sits.
+func TestPrefixViolationProperty(t *testing.T) {
+	f := func(holeSeed, tailSeed uint8) bool {
+		hole := uint64(holeSeed%30) + 1
+		tail := hole + 1 + uint64(tailSeed%30)
+		keys := make([]bool, tail+1)
+		for i := range keys {
+			keys[i] = true
+		}
+		keys[hole] = false // hole with recovered keys after it
+		r := Check([][]bool{keys}, []uint64{tail})
+		return r.PrefixViolations == 1 && !r.DurableOK() && !r.BufferedOK(1<<30, 1<<30)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package locks provides the spin locks used by the universal
+// constructions: the combiner trylock and reader–writer lock of node
+// replication, and the strong try reader–writer lock of CX-PUC.
+//
+// Lock state lives in simulated memory words so that acquisitions are
+// charged NUMA-aware access costs, contention is visible to the virtual-time
+// scheduler, and state evaporates at a crash exactly like real lock words in
+// volatile cache/DRAM.
+package locks
+
+import (
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+)
+
+// TryLock is a test-and-set lock with no blocking acquire; node replication
+// uses one per replica as the combiner lock.
+type TryLock struct {
+	m   *nvm.Memory
+	off uint64
+}
+
+// NewTryLock wraps the word at off in m (the word must be zero-initialized).
+func NewTryLock(m *nvm.Memory, off uint64) TryLock { return TryLock{m, off} }
+
+// TryAcquire attempts to take the lock; it never blocks.
+func (l TryLock) TryAcquire(t *sim.Thread) bool {
+	// Test-and-test-and-set: avoid hammering CAS on a held lock.
+	if l.m.Load(t, l.off) != 0 {
+		return false
+	}
+	return l.m.CAS(t, l.off, 0, 1)
+}
+
+// Release unlocks. Only the holder may call it.
+func (l TryLock) Release(t *sim.Thread) { l.m.Store(t, l.off, 0) }
+
+// Held reports whether some thread holds the lock (racy snapshot).
+func (l TryLock) Held(t *sim.Thread) bool { return l.m.Load(t, l.off) != 0 }
+
+// RWLock is a word-based reader–writer spin lock. The word holds the reader
+// count; the writer bit is the top bit.
+type RWLock struct {
+	m   *nvm.Memory
+	off uint64
+}
+
+const writerBit = uint64(1) << 63
+
+// NewRWLock wraps the word at off in m (the word must be zero-initialized).
+func NewRWLock(m *nvm.Memory, off uint64) RWLock { return RWLock{m, off} }
+
+// ReadLock blocks (spins in virtual time) until no writer holds the lock.
+func (l RWLock) ReadLock(t *sim.Thread) {
+	for {
+		w := l.m.Load(t, l.off)
+		if w&writerBit == 0 && l.m.CAS(t, l.off, w, w+1) {
+			return
+		}
+		t.Step(spinCost(t))
+	}
+}
+
+// ReadUnlock releases one reader.
+func (l RWLock) ReadUnlock(t *sim.Thread) {
+	for {
+		w := l.m.Load(t, l.off)
+		if l.m.CAS(t, l.off, w, w-1) {
+			return
+		}
+		t.Step(spinCost(t))
+	}
+}
+
+// WriteLock blocks until the lock is completely free, then takes it
+// exclusively.
+func (l RWLock) WriteLock(t *sim.Thread) {
+	for {
+		if l.m.Load(t, l.off) == 0 && l.m.CAS(t, l.off, 0, writerBit) {
+			return
+		}
+		t.Step(spinCost(t))
+	}
+}
+
+// WriteUnlock releases the exclusive lock.
+func (l RWLock) WriteUnlock(t *sim.Thread) { l.m.Store(t, l.off, 0) }
+
+// TryWriteLock attempts exclusive acquisition without blocking. CX-PUC's
+// strong try reader–writer lock exposes this.
+func (l RWLock) TryWriteLock(t *sim.Thread) bool {
+	return l.m.Load(t, l.off) == 0 && l.m.CAS(t, l.off, 0, writerBit)
+}
+
+// TryReadLock attempts shared acquisition without blocking.
+func (l RWLock) TryReadLock(t *sim.Thread) bool {
+	w := l.m.Load(t, l.off)
+	return w&writerBit == 0 && l.m.CAS(t, l.off, w, w+1)
+}
+
+// spinCost is the virtual-time price of one failed acquisition loop
+// iteration (a PAUSE instruction plus scheduling slack).
+func spinCost(t *sim.Thread) uint64 {
+	// The costs table lives on the nvm system; locks only see memories, so
+	// the spin price rides on the thread via a fixed small constant. Memory
+	// accesses in the loop already dominate the charged time.
+	return 8
+}
+
+// DistRWLock is the distributed reader–writer lock of node replication:
+// each reader thread owns a whole cache line for its reader flag, so
+// read-lock acquisition touches only thread-private state plus a shared
+// load of the writer word — no line ping-pong between readers, which is
+// what lets NR's read-only operations scale. Writers raise the writer word
+// and wait for every reader flag to drain.
+//
+// Layout starting at off: writer word (one line), then one line per reader
+// slot.
+type DistRWLock struct {
+	m     *nvm.Memory
+	off   uint64
+	slots int
+}
+
+// DistRWLockWords returns the region size needed for a lock with the given
+// number of reader slots.
+func DistRWLockWords(slots int) uint64 {
+	return uint64(1+slots) * nvm.WordsPerLine
+}
+
+// NewDistRWLock wraps the region at off in m (must be zero-initialized and
+// DistRWLockWords(slots) long).
+func NewDistRWLock(m *nvm.Memory, off uint64, slots int) DistRWLock {
+	return DistRWLock{m: m, off: off, slots: slots}
+}
+
+func (l DistRWLock) writerOff() uint64 { return l.off }
+func (l DistRWLock) slotOff(slot int) uint64 {
+	return l.off + uint64(1+slot)*nvm.WordsPerLine
+}
+
+// ReadLock acquires the lock in shared mode for the given reader slot.
+func (l DistRWLock) ReadLock(t *sim.Thread, slot int) {
+	for {
+		l.m.Store(t, l.slotOff(slot), 1)
+		if l.m.Load(t, l.writerOff()) == 0 {
+			return
+		}
+		// A writer is active or arriving: stand down and wait.
+		l.m.Store(t, l.slotOff(slot), 0)
+		for l.m.Load(t, l.writerOff()) != 0 {
+			t.Step(spinCost(t))
+		}
+	}
+}
+
+// ReadUnlock releases the reader slot.
+func (l DistRWLock) ReadUnlock(t *sim.Thread, slot int) {
+	l.m.Store(t, l.slotOff(slot), 0)
+}
+
+// WriteLock acquires the lock exclusively: raise the writer word, then wait
+// for every reader flag to drain.
+func (l DistRWLock) WriteLock(t *sim.Thread) {
+	for !l.m.CAS(t, l.writerOff(), 0, 1) {
+		t.Step(spinCost(t))
+	}
+	for s := 0; s < l.slots; s++ {
+		for l.m.Load(t, l.slotOff(s)) != 0 {
+			t.Step(spinCost(t))
+		}
+	}
+}
+
+// WriteUnlock releases the exclusive lock.
+func (l DistRWLock) WriteUnlock(t *sim.Thread) {
+	l.m.Store(t, l.writerOff(), 0)
+}

@@ -1,0 +1,49 @@
+// Package numa models the NUMA topology and thread-pinning policy of the
+// paper's evaluation machine: worker thread IDs fill node 0 completely
+// before spilling onto node 1, matching "all available processors on a NUMA
+// node are utilized before utilizing processors on other nodes" (§6).
+package numa
+
+// Topology describes a machine with Nodes NUMA nodes and ThreadsPerNode
+// hardware threads on each (the paper's β).
+type Topology struct {
+	Nodes          int
+	ThreadsPerNode int
+}
+
+// Paper is the evaluation machine: 2 sockets × 48 hardware threads.
+func Paper() Topology { return Topology{Nodes: 2, ThreadsPerNode: 48} }
+
+// TotalThreads returns the machine's hardware-thread count.
+func (tp Topology) TotalThreads() int { return tp.Nodes * tp.ThreadsPerNode }
+
+// NodeOf maps worker tid to its NUMA node under fill-first pinning.
+func (tp Topology) NodeOf(tid int) int {
+	n := tid / tp.ThreadsPerNode
+	if n >= tp.Nodes {
+		panic("numa: thread id beyond machine capacity")
+	}
+	return n
+}
+
+// SlotOf maps worker tid to its per-node slot index (its position in the
+// flat-combining batch of its node's replica).
+func (tp Topology) SlotOf(tid int) int { return tid % tp.ThreadsPerNode }
+
+// NodesFor returns how many nodes a run with the given worker count
+// populates (replicas are only instantiated for populated nodes).
+func (tp Topology) NodesFor(workers int) int {
+	if workers <= 0 {
+		return 0
+	}
+	n := (workers + tp.ThreadsPerNode - 1) / tp.ThreadsPerNode
+	if n > tp.Nodes {
+		panic("numa: more workers than hardware threads")
+	}
+	return n
+}
+
+// PersistenceNode returns the node the dedicated persistence thread is
+// pinned to: the last node, where the paper leaves one hardware thread free
+// (it uses at most 95 of 96 threads as workers).
+func (tp Topology) PersistenceNode() int { return tp.Nodes - 1 }

@@ -1,0 +1,51 @@
+package numa
+
+import "testing"
+
+func TestFillFirstPinning(t *testing.T) {
+	tp := Topology{Nodes: 2, ThreadsPerNode: 4}
+	wantNodes := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for tid, want := range wantNodes {
+		if got := tp.NodeOf(tid); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestSlotOf(t *testing.T) {
+	tp := Topology{Nodes: 2, ThreadsPerNode: 4}
+	for tid := 0; tid < 8; tid++ {
+		if got := tp.SlotOf(tid); got != tid%4 {
+			t.Errorf("SlotOf(%d) = %d", tid, got)
+		}
+	}
+}
+
+func TestNodesFor(t *testing.T) {
+	tp := Topology{Nodes: 2, ThreadsPerNode: 48}
+	cases := map[int]int{0: 0, 1: 1, 24: 1, 48: 1, 49: 2, 95: 2, 96: 2}
+	for workers, want := range cases {
+		if got := tp.NodesFor(workers); got != want {
+			t.Errorf("NodesFor(%d) = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestNodeOfBeyondCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Topology{Nodes: 2, ThreadsPerNode: 2}.NodeOf(4)
+}
+
+func TestPaperTopology(t *testing.T) {
+	tp := Paper()
+	if tp.TotalThreads() != 96 {
+		t.Errorf("paper machine has %d threads, want 96", tp.TotalThreads())
+	}
+	if tp.PersistenceNode() != 1 {
+		t.Errorf("persistence node = %d, want 1", tp.PersistenceNode())
+	}
+}

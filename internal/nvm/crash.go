@@ -1,0 +1,64 @@
+package nvm
+
+import "prepuc/internal/sim"
+
+// Crash freezes the machine, modelling a power failure: every simulated
+// thread is unwound from its next memory access. The persisted state is
+// materialized lazily by Recover.
+func (s *System) Crash() { s.sch.CrashNow() }
+
+// Recover materializes the machine's post-crash persistent state and returns
+// a fresh System, attached to the given (new) scheduler, that contains only
+// the NVM memories — each with its current view re-read from the persisted
+// media. Volatile memories are gone; recovery code recreates them.
+//
+// Materialization applies the hardware's undefined behaviours:
+//   - every line issued via FlushLine but not yet fenced is persisted with
+//     probability 1/2 (independent coin flips, seeded);
+//   - every merely-dirty line is lost (its last persisted value remains).
+//
+// Recover must only be called after the crashed scheduler has fully drained
+// (sim.Scheduler.Run returned).
+func (s *System) Recover(sch *sim.Scheduler) *System {
+	// Coin-flip unfenced asynchronous flushes.
+	for _, f := range s.flushers {
+		for _, p := range f.pending {
+			if s.nextRand()&1 == 0 {
+				p.m.persistLine(p.line)
+			}
+		}
+		f.pending = nil
+	}
+	ns := &System{
+		sch:      sch,
+		costs:    s.costs,
+		mems:     make(map[string]*Memory),
+		bgProb:   s.bgProb,
+		rngState: s.nextRand() | 1,
+	}
+	for _, m := range s.order {
+		if m.kind != NVM {
+			continue
+		}
+		nm := &Memory{
+			name:      m.name,
+			kind:      NVM,
+			home:      m.home,
+			sys:       ns,
+			data:      make([]uint64, len(m.persisted)),
+			persisted: make([]uint64, len(m.persisted)),
+			dirty:     make([]bool, len(m.dirty)),
+			owner:     make([]int32, len(m.owner)),
+			ownerNode: make([]int32, len(m.ownerNode)),
+			bgState:   ns.nextRand() | 1,
+		}
+		for i := range nm.owner {
+			nm.owner[i] = ownerShared
+		}
+		copy(nm.data, m.persisted)
+		copy(nm.persisted, m.persisted)
+		ns.mems[nm.name] = nm
+		ns.order = append(ns.order, nm)
+	}
+	return ns
+}

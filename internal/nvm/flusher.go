@@ -1,0 +1,70 @@
+package nvm
+
+import "prepuc/internal/sim"
+
+// pendingFlush identifies one line awaiting a fence.
+type pendingFlush struct {
+	m    *Memory
+	line uint64
+}
+
+// Flusher models one hardware thread's view of in-flight asynchronous
+// write-backs. CLWB/CLFLUSHOPT order only against a subsequent SFENCE on the
+// same thread, so each simulated thread owns a Flusher; lines it has flushed
+// but not fenced are in an undefined persistence state if a crash hits.
+type Flusher struct {
+	sys     *System
+	pending []pendingFlush
+	seen    map[pendingFlush]struct{}
+}
+
+// NewFlusher creates a per-thread flusher registered for crash accounting.
+func (s *System) NewFlusher() *Flusher {
+	f := &Flusher{sys: s, seen: make(map[pendingFlush]struct{})}
+	s.flushers = append(s.flushers, f)
+	return f
+}
+
+// FlushLine issues an asynchronous write-back (CLWB) of the line containing
+// off. The line is not persisted until the next Fence — or, at a crash, with
+// 50% probability.
+func (f *Flusher) FlushLine(t *sim.Thread, m *Memory, off uint64) {
+	if m.kind != NVM {
+		panic("nvm: FlushLine on volatile memory " + m.name)
+	}
+	t.Step(f.sys.costs.FlushLine)
+	m.stats.FlushAsync++
+	p := pendingFlush{m, off / WordsPerLine}
+	if _, dup := f.seen[p]; dup {
+		return
+	}
+	f.seen[p] = struct{}{}
+	f.pending = append(f.pending, p)
+}
+
+// FlushLineSync executes a blocking flush (CLFLUSH) of the line containing
+// off; the line is persisted before FlushLineSync returns.
+func (f *Flusher) FlushLineSync(t *sim.Thread, m *Memory, off uint64) {
+	if m.kind != NVM {
+		panic("nvm: FlushLineSync on volatile memory " + m.name)
+	}
+	t.Step(f.sys.costs.FlushSync)
+	m.stats.FlushSync++
+	m.persistLine(off / WordsPerLine)
+}
+
+// Fence executes an SFENCE: every line previously issued through FlushLine
+// on this flusher is persisted before Fence returns.
+func (f *Flusher) Fence(t *sim.Thread) {
+	n := uint64(len(f.pending))
+	t.Step(f.sys.costs.Fence + f.sys.costs.FencePerPending*n)
+	f.sys.fences++
+	for _, p := range f.pending {
+		p.m.persistLine(p.line)
+	}
+	f.pending = f.pending[:0]
+	clear(f.seen)
+}
+
+// Pending returns the number of lines issued but not yet fenced.
+func (f *Flusher) Pending() int { return len(f.pending) }

@@ -1,0 +1,417 @@
+// Package nvm simulates byte-addressable non-volatile memory with a volatile
+// cache in front of it, as found on the paper's evaluation machine (Intel
+// Optane DCPMM behind volatile CPU caches).
+//
+// A Memory is a word-addressable region (1 word = 8 bytes, 1 cache line = 8
+// words). Every Memory has a current view, playing the role of the cache
+// hierarchy plus DRAM, and — for NVM-kind memories — a persisted view,
+// playing the role of the 3D-XPoint media. Only the persisted view survives
+// a crash.
+//
+// Data moves from the current view to the persisted view through:
+//
+//   - Flusher.FlushLine + Flusher.Fence  (CLWB/CLFLUSHOPT … SFENCE)
+//   - Flusher.FlushLineSync              (CLFLUSH)
+//   - System.WBINVD                      (whole-cache write-back)
+//   - background flushes: every store to an NVM memory may, with small
+//     probability, be written back immediately by the cache-coherence
+//     protocol — without the program's knowledge. This reproduces the §4.1
+//     hazard that forces PREP-UC to keep two dedicated persistent replicas.
+//
+// Asynchronous flushes that were issued but not yet fenced when the crash
+// hits are persisted with 50% probability each, modelling their undefined
+// ordering on real hardware.
+//
+// All operations charge virtual time through the sim scheduler, which also
+// guarantees mutual exclusion, so the package needs no atomics of its own.
+package nvm
+
+import (
+	"fmt"
+
+	"prepuc/internal/sim"
+)
+
+// WordsPerLine is the number of 8-byte words in a simulated cache line.
+const WordsPerLine = 8
+
+// Kind distinguishes volatile (DRAM-backed) from non-volatile memories.
+type Kind int
+
+const (
+	// Volatile memory is lost entirely at a crash. Flush operations on it
+	// are a programming error and panic.
+	Volatile Kind = iota
+	// NVM memory keeps its persisted view across a crash.
+	NVM
+)
+
+func (k Kind) String() string {
+	if k == NVM {
+		return "nvm"
+	}
+	return "volatile"
+}
+
+// Interleaved is the home value for memories striped across all NUMA nodes
+// (such as the shared operation log). Home placement is descriptive
+// metadata: access costs are driven by the per-line coherence state (who
+// wrote the line last, and from which node), which is what dominates on
+// real NUMA machines for the hot lines these algorithms fight over.
+const Interleaved = -1
+
+// Stats counts simulated-hardware events for one Memory.
+type Stats struct {
+	Loads, Stores, CASes   uint64
+	FlushAsync, FlushSync  uint64
+	BGFlushes              uint64
+	LinesWrittenBack       uint64 // by any mechanism
+	WBINVDLinesWrittenBack uint64
+}
+
+// Memory is one simulated region. Offsets are word indices.
+type Memory struct {
+	name      string
+	kind      Kind
+	home      int // NUMA node, or Interleaved (metadata; see access costs)
+	sys       *System
+	data      []uint64 // current (cache/DRAM) view
+	persisted []uint64 // NVM view; nil for volatile memories
+	dirty     []bool   // per line; meaningful for NVM only
+	// MSI-style per-line ownership for coherence cost accounting: the
+	// thread id of the last writer, or ownerShared after a foreign load
+	// downgraded the line. Mutated-elsewhere lines charge a transfer on
+	// access; this is what makes contended locks expensive and per-node
+	// replicas cheap — the effect node replication exploits.
+	owner     []int32
+	ownerNode []int32
+	bgState   uint64 // xorshift state for background-flush draws
+	stats     Stats
+}
+
+// ownerShared marks a line readable by everyone without transfer cost.
+const ownerShared = int32(-1)
+
+// System owns a set of memories and flushers, the latency model, and the
+// crash machinery. One System models one machine between two crashes.
+type System struct {
+	sch      *sim.Scheduler
+	costs    sim.Costs
+	mems     map[string]*Memory
+	order    []*Memory
+	flushers []*Flusher
+	bgProb   uint64 // background flush: 1-in-bgProb stores; 0 disables
+	rngState uint64
+	fences   uint64
+	wbinvds  uint64
+}
+
+// Config parameterizes a System.
+type Config struct {
+	Costs sim.Costs
+	// BGFlushOneIn enables background flushes on NVM stores with probability
+	// 1/BGFlushOneIn. Zero disables them.
+	BGFlushOneIn uint64
+	// Seed drives crash-time persistence coin flips and background flushes.
+	Seed uint64
+}
+
+// NewSystem creates a machine attached to the given scheduler.
+func NewSystem(sch *sim.Scheduler, cfg Config) *System {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x1234_5678_9ABC_DEF1
+	}
+	return &System{
+		sch:      sch,
+		costs:    cfg.Costs,
+		mems:     make(map[string]*Memory),
+		bgProb:   cfg.BGFlushOneIn,
+		rngState: seed,
+	}
+}
+
+// Scheduler returns the sim scheduler this system runs on.
+func (s *System) Scheduler() *sim.Scheduler { return s.sch }
+
+// SetScheduler rebinds the system to a new scheduler. Recovery runs in
+// phases (boot, then workers), each on its own scheduler; the memories
+// themselves are scheduler-agnostic but Crash must freeze the active one.
+func (s *System) SetScheduler(sch *sim.Scheduler) { s.sch = sch }
+
+// Costs returns the latency model.
+func (s *System) Costs() sim.Costs { return s.costs }
+
+// Fences returns the number of fences executed system-wide.
+func (s *System) Fences() uint64 { return s.fences }
+
+// WBINVDs returns the number of whole-cache write-backs executed.
+func (s *System) WBINVDs() uint64 { return s.wbinvds }
+
+// NewMemory allocates a region of the given size in words. Names must be
+// unique within a System; NVM memories are recovered by name after a crash.
+func (s *System) NewMemory(name string, kind Kind, home int, words uint64) *Memory {
+	if _, dup := s.mems[name]; dup {
+		panic(fmt.Sprintf("nvm: duplicate memory name %q", name))
+	}
+	if words%WordsPerLine != 0 {
+		words += WordsPerLine - words%WordsPerLine
+	}
+	m := &Memory{
+		name:      name,
+		kind:      kind,
+		home:      home,
+		sys:       s,
+		data:      make([]uint64, words),
+		owner:     make([]int32, words/WordsPerLine),
+		ownerNode: make([]int32, words/WordsPerLine),
+		bgState:   s.nextRand() | 1,
+	}
+	for i := range m.owner {
+		m.owner[i] = ownerShared
+	}
+	if kind == NVM {
+		m.persisted = make([]uint64, words)
+		m.dirty = make([]bool, words/WordsPerLine)
+	}
+	s.mems[name] = m
+	s.order = append(s.order, m)
+	return m
+}
+
+// Memory looks up a region by name (used by recovery code).
+func (s *System) Memory(name string) *Memory {
+	m, ok := s.mems[name]
+	if !ok {
+		panic(fmt.Sprintf("nvm: no memory named %q", name))
+	}
+	return m
+}
+
+// HasMemory reports whether a region with this name exists.
+func (s *System) HasMemory(name string) bool {
+	_, ok := s.mems[name]
+	return ok
+}
+
+func (s *System) nextRand() uint64 {
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	return x
+}
+
+// Name returns the region's name.
+func (m *Memory) Name() string { return m.name }
+
+// Kind returns whether the region is volatile or NVM.
+func (m *Memory) Kind() Kind { return m.kind }
+
+// Words returns the region size in words.
+func (m *Memory) Words() uint64 { return uint64(len(m.data)) }
+
+// Stats returns a copy of the region's event counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// transferCost prices acquiring a line currently owned by another thread:
+// an intra-node cache-to-cache transfer or a cross-socket one.
+func (m *Memory) transferCost(t *sim.Thread, line uint64) uint64 {
+	if int(m.ownerNode[line]) == t.Node() {
+		return m.sys.costs.CoherenceLocal
+	}
+	return m.sys.costs.CoherenceRemote
+}
+
+// loadCost prices a load of the line from thread t and downgrades foreign
+// exclusively-owned lines to shared (MSI's M→S on a remote read).
+func (m *Memory) loadCost(t *sim.Thread, line uint64) uint64 {
+	cost := m.sys.costs.LocalAccess
+	if m.kind == NVM {
+		cost += m.sys.costs.NVMLoadExtra
+	}
+	if own := m.owner[line]; own != ownerShared && own != int32(t.ID()) {
+		cost += m.transferCost(t, line)
+		m.owner[line] = ownerShared
+	}
+	return cost
+}
+
+// storeCost prices a store (or CAS) and takes exclusive ownership: stores to
+// shared lines pay an invalidation, stores to foreign-owned lines a
+// transfer (MSI's S/M→M elsewhere → M here).
+func (m *Memory) storeCost(t *sim.Thread, line uint64) uint64 {
+	cost := m.sys.costs.LocalAccess
+	if m.kind == NVM {
+		cost += m.sys.costs.NVMStoreExtra
+	}
+	switch own := m.owner[line]; {
+	case own == int32(t.ID()):
+		// already exclusive
+	case own == ownerShared:
+		cost += m.sys.costs.CoherenceLocal // invalidate sharers
+	default:
+		cost += m.transferCost(t, line)
+	}
+	m.owner[line] = int32(t.ID())
+	m.ownerNode[line] = int32(t.Node())
+	return cost
+}
+
+// Load reads the word at off.
+func (m *Memory) Load(t *sim.Thread, off uint64) uint64 {
+	t.Step(m.loadCost(t, off/WordsPerLine))
+	m.stats.Loads++
+	return m.data[off]
+}
+
+// Store writes v to the word at off. For NVM memories the store dirties the
+// containing line and may trigger a background write-back.
+func (m *Memory) Store(t *sim.Thread, off uint64, v uint64) {
+	line := off / WordsPerLine
+	t.Step(m.storeCost(t, line))
+	m.stats.Stores++
+	m.data[off] = v
+	if m.kind == NVM {
+		m.dirty[line] = true
+		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
+			m.persistLine(line)
+			m.stats.BGFlushes++
+		}
+	}
+}
+
+// CAS atomically compares and swaps the word at off. Failed CASes still
+// acquire the line exclusively, as on real hardware.
+func (m *Memory) CAS(t *sim.Thread, off, old, new uint64) bool {
+	line := off / WordsPerLine
+	t.Step(m.storeCost(t, line))
+	m.stats.CASes++
+	if m.data[off] != old {
+		return false
+	}
+	m.data[off] = new
+	if m.kind == NVM {
+		m.dirty[line] = true
+		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
+			m.persistLine(line)
+			m.stats.BGFlushes++
+		}
+	}
+	return true
+}
+
+func (m *Memory) nextBG() uint64 {
+	x := m.bgState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.bgState = x
+	return x
+}
+
+// persistLine copies one line from the current view to the persisted view.
+func (m *Memory) persistLine(line uint64) {
+	if m.kind != NVM {
+		panic("nvm: persistLine on volatile memory " + m.name)
+	}
+	base := line * WordsPerLine
+	copy(m.persisted[base:base+WordsPerLine], m.data[base:base+WordsPerLine])
+	m.dirty[line] = false
+	m.stats.LinesWrittenBack++
+}
+
+// PersistedLoad reads the persisted view directly. Only recovery code and
+// tests may use it; live algorithm code must go through Load.
+func (m *Memory) PersistedLoad(off uint64) uint64 {
+	if m.kind != NVM {
+		panic("nvm: PersistedLoad on volatile memory " + m.name)
+	}
+	return m.persisted[off]
+}
+
+// DirtyLines returns the number of lines modified since their last
+// write-back (NVM memories only).
+func (m *Memory) DirtyLines() uint64 {
+	var n uint64
+	for _, d := range m.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushRegion write-backs every line intersecting words [from, to) and
+// fences, as one bulk event charged lines*FlushLine + Fence. CX-PUC uses it
+// to persist a replica's whole address range after an update; issuing the
+// CLWBs one by one would model the same cost at far more simulator events.
+func (m *Memory) FlushRegion(t *sim.Thread, from, to uint64) {
+	if m.kind != NVM {
+		panic("nvm: FlushRegion on volatile memory " + m.name)
+	}
+	if to > m.Words() {
+		to = m.Words()
+	}
+	if from >= to {
+		t.Step(m.sys.costs.Fence)
+		m.sys.fences++
+		return
+	}
+	first := from / WordsPerLine
+	last := (to - 1) / WordsPerLine
+	lines := last - first + 1
+	t.Step(m.sys.costs.FlushLine*lines + m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
+	m.sys.fences++
+	for line := first; line <= last; line++ {
+		m.persistLine(line)
+	}
+	m.stats.FlushAsync += lines
+}
+
+// FlushAllDirty write-backs every currently dirty line and fences, as one
+// bulk event. It is the "track writes and flush only modified lines"
+// strategy that a black-box PUC cannot implement (the ablation benchmark
+// uses it to quantify what write tracking would buy PREP-UC over WBINVD).
+func (m *Memory) FlushAllDirty(t *sim.Thread) {
+	if m.kind != NVM {
+		panic("nvm: FlushAllDirty on volatile memory " + m.name)
+	}
+	lines := m.DirtyLines()
+	t.Step(m.sys.costs.FlushLine*lines + m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
+	m.sys.fences++
+	for line := range m.dirty {
+		if m.dirty[line] {
+			m.persistLine(uint64(line))
+		}
+	}
+	m.stats.FlushAsync += lines
+}
+
+// WBINVD writes back every dirty line of the given memories, modelling the
+// privileged whole-cache write-back executed by the persistence thread. The
+// paper invokes WBINVD on one processor, which writes back all dirty data in
+// that processor's cache; since the persistence thread is the only writer of
+// the persistent replicas, the affected dirty lines are exactly those of the
+// memories it writes, which the caller passes here. Cost is a large fixed
+// base plus a per-line charge.
+func (s *System) WBINVD(t *sim.Thread, mems ...*Memory) {
+	var lines uint64
+	for _, m := range mems {
+		if m.kind != NVM {
+			panic("nvm: WBINVD over volatile memory " + m.name)
+		}
+		lines += m.DirtyLines()
+	}
+	t.Step(s.costs.WBINVDBase + s.costs.WBINVDPerLine*lines)
+	s.wbinvds++
+	for _, m := range mems {
+		for line := range m.dirty {
+			if m.dirty[line] {
+				m.persistLine(uint64(line))
+				m.stats.WBINVDLinesWrittenBack++
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package onll
+
+import (
+	"testing"
+
+	"prepuc/internal/history"
+	"prepuc/internal/nvm"
+	"prepuc/internal/seq"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+func testCfg(workers int) Config {
+	return Config{
+		Workers:    workers,
+		Factory:    seq.HashMapFactory(128),
+		HeapWords:  1 << 20,
+		LogEntries: 1 << 12,
+	}
+}
+
+type world struct {
+	sys *nvm.System
+	o   *ONLL
+}
+
+func build(t *testing.T, cfg Config, nvmCfg nvm.Config, seed int64) *world {
+	t.Helper()
+	sch := sim.New(seed)
+	sys := nvm.NewSystem(sch, nvmCfg)
+	w := &world{sys: sys}
+	var err error
+	sch.Spawn("boot", 0, 0, func(th *sim.Thread) { w.o, err = New(th, sys, cfg) })
+	sch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *world) run(workers int, crashAt uint64, seed int64, fn func(*sim.Thread, int)) *sim.Scheduler {
+	sch := sim.New(seed)
+	if crashAt != 0 {
+		sch.CrashAtEvent(crashAt)
+	}
+	w.sys.SetScheduler(sch)
+	for tid := 0; tid < workers; tid++ {
+		tid := tid
+		sch.Spawn("w", tid%2, 0, func(th *sim.Thread) {
+			defer func() {
+				if r := recover(); r != nil && !sim.Crashed(r) {
+					panic(r)
+				}
+			}()
+			fn(th, tid)
+		})
+	}
+	sch.Run()
+	return sch
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	w := build(t, testCfg(1), nvm.Config{}, 1)
+	w.run(1, 0, 100, func(th *sim.Thread, tid int) {
+		for k := uint64(0); k < 40; k++ {
+			if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k * 2}); got != 1 {
+				t.Errorf("insert = %d", got)
+			}
+		}
+		for k := uint64(0); k < 40; k++ {
+			if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k}); got != k*2 {
+				t.Errorf("get(%d) = %d", k, got)
+			}
+		}
+		if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: 3}); got != 1 {
+			t.Errorf("delete = %d", got)
+		}
+	})
+}
+
+func TestReadsDoNotFlushOrFence(t *testing.T) {
+	w := build(t, testCfg(2), nvm.Config{Costs: sim.UnitCosts()}, 2)
+	w.run(1, 0, 200, func(th *sim.Thread, tid int) {
+		for k := uint64(0); k < 20; k++ {
+			w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+		}
+	})
+	before := w.sys.Fences()
+	w.run(1, 0, 201, func(th *sim.Thread, tid int) {
+		for k := uint64(0); k < 100; k++ {
+			w.o.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k % 20})
+		}
+	})
+	if got := w.sys.Fences(); got != before {
+		t.Errorf("reads executed %d fences; ONLL reads must not fence", got-before)
+	}
+}
+
+func TestOneFencePerUpdate(t *testing.T) {
+	w := build(t, testCfg(1), nvm.Config{Costs: sim.UnitCosts()}, 3)
+	before := w.sys.Fences()
+	const updates = 30
+	w.run(1, 0, 300, func(th *sim.Thread, tid int) {
+		for k := uint64(0); k < updates; k++ {
+			w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+		}
+	})
+	if got := w.sys.Fences() - before; got != updates {
+		t.Errorf("%d fences for %d updates, want one each", got, updates)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	const workers, per = 6, 40
+	w := build(t, testCfg(workers), nvm.Config{Costs: sim.UnitCosts()}, 4)
+	w.run(workers, 0, 400, func(th *sim.Thread, tid int) {
+		for i := uint64(0); i < per; i++ {
+			k := uint64(tid)*1000 + i
+			if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k}); got != 1 {
+				t.Errorf("insert = %d", got)
+			}
+		}
+	})
+	w.run(1, 0, 401, func(th *sim.Thread, tid int) {
+		for tid2 := 0; tid2 < workers; tid2++ {
+			for i := uint64(0); i < per; i++ {
+				k := uint64(tid2)*1000 + i
+				if got := w.o.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+					t.Errorf("get(%d) = %d", k, got)
+				}
+			}
+		}
+	})
+}
+
+func TestCrashLosesNoCompletedOp(t *testing.T) {
+	const workers = 6
+	for _, crashAt := range []uint64{30_000, 90_000, 250_000} {
+		cfg := testCfg(workers)
+		w := build(t, cfg, nvm.Config{Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: crashAt}, int64(crashAt))
+		completed := make([]uint64, workers)
+		sch := w.run(workers, crashAt, int64(crashAt)+1, func(th *sim.Thread, tid int) {
+			for i := uint64(0); ; i++ {
+				w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				completed[tid] = i + 1
+			}
+		})
+		if !sch.Frozen() {
+			t.Fatal("did not crash")
+		}
+		recSch := sim.New(int64(crashAt) + 2)
+		recSys := w.sys.Recover(recSch)
+		var rec *ONLL
+		var err error
+		recSch.Spawn("rec", 0, 0, func(th *sim.Thread) {
+			rec, _, err = Recover(th, recSys, cfg)
+		})
+		recSch.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([][]bool, workers)
+		chk := sim.New(int64(crashAt) + 3)
+		recSys.SetScheduler(chk)
+		chk.Spawn("probe", 0, 0, func(th *sim.Thread) {
+			for tid := 0; tid < workers; tid++ {
+				n := completed[tid] + 16
+				keys[tid] = make([]bool, n)
+				for i := uint64(0); i < n; i++ {
+					keys[tid][i] = rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)}) != uc.NotFound
+				}
+			}
+		})
+		chk.Run()
+		rep := history.Check(keys, completed)
+		if !rep.DurableOK() {
+			t.Errorf("crashAt=%d: %s", crashAt, rep)
+		}
+	}
+}
+
+func TestRecoveredInstanceUsableAndRecrashable(t *testing.T) {
+	cfg := testCfg(4)
+	w := build(t, cfg, nvm.Config{Costs: sim.UnitCosts()}, 9)
+	w.run(4, 0, 900, func(th *sim.Thread, tid int) {
+		for i := uint64(0); i < 25; i++ {
+			w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+		}
+	})
+	recSch := sim.New(901)
+	recSys := w.sys.Recover(recSch)
+	var rec *ONLL
+	var replayed uint64
+	var err error
+	recSch.Spawn("rec", 0, 0, func(th *sim.Thread) {
+		rec, replayed, err = Recover(th, recSys, cfg)
+	})
+	recSch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 100 {
+		t.Errorf("replayed %d ops, want 100", replayed)
+	}
+	// Use it, crash again, recover again.
+	sch := sim.New(902)
+	recSys.SetScheduler(sch)
+	sch.Spawn("w", 0, 0, func(th *sim.Thread) {
+		for i := uint64(0); i < 10; i++ {
+			rec.Execute(th, 0, uc.Op{Code: uc.OpInsert, A0: 1<<40 | i, A1: i})
+		}
+	})
+	sch.Run()
+	rec2Sch := sim.New(903)
+	recSys2 := recSys.Recover(rec2Sch)
+	var rec2 *ONLL
+	cfg2 := rec.cfg
+	rec2Sch.Spawn("rec2", 0, 0, func(th *sim.Thread) {
+		rec2, _, err = Recover(th, recSys2, cfg2)
+	})
+	rec2Sch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := sim.New(904)
+	recSys2.SetScheduler(chk)
+	chk.Spawn("chk", 0, 0, func(th *sim.Thread) {
+		for i := uint64(0); i < 10; i++ {
+			if got := rec2.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: 1<<40 | i}); got != i {
+				t.Errorf("second recovery lost op %d", i)
+			}
+		}
+	})
+	chk.Run()
+}
+
+func TestChecksumDetectsTornEntry(t *testing.T) {
+	recs := []opRec{{index: 1, code: 2, a0: 3, a1: 4}}
+	c := checksum(recs)
+	recs[0].a0 = 99
+	if checksum(recs) == c {
+		t.Error("checksum insensitive to op mutation")
+	}
+	if checksum(nil) == 0 {
+		t.Error("empty checksum must not be zero (zeroed NVM must not validate)")
+	}
+}
+
+func TestEntryWordsLineAligned(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		if w := entryWords(n); w%nvm.WordsPerLine != 0 {
+			t.Errorf("entryWords(%d) = %d not line aligned", n, w)
+		}
+	}
+}

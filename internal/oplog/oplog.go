@@ -1,0 +1,204 @@
+// Package oplog implements the shared operation log of node replication
+// (§3, Table 1): a circular buffer of update operations with three
+// monotonically increasing indexes —
+//
+//	logTail        next free entry (reserved by CAS)
+//	completedTail  last entry applied to some replica
+//	logMin         entry before which all entries have been applied to every
+//	               replica and may be reused
+//
+// Each entry carries an emptyBit whose meaning alternates every time the log
+// wraps: on even passes 1 means full, on odd passes 0 means full. A reader
+// expecting absolute index i therefore knows whether the entry content
+// belongs to i or to a previous pass, so entries are reused without
+// ambiguity and a thread never executes an operation with stale or
+// incomplete arguments.
+//
+// The log can live in volatile memory (NR-UC, PREP-Buffered) or NVM
+// (PREP-Durable); the flushing protocol belongs to the universal
+// construction, which reaches the underlying words via the offset helpers.
+package oplog
+
+import (
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+)
+
+// Control-word offsets. Each control word sits on its own cache line.
+const (
+	offCompletedTail = 0
+	offLogTail       = 8
+	offLogMin        = 16
+	entryBase        = 64
+)
+
+// EntryWords is the size of one log entry: one cache line.
+const EntryWords = nvm.WordsPerLine
+
+// Entry field offsets within an entry.
+const (
+	entEmpty = 0
+	entCode  = 1
+	entA0    = 2
+	entA1    = 3
+)
+
+// WordsFor returns the memory size needed for a log with the given number
+// of entries.
+func WordsFor(entries uint64) uint64 { return entryBase + entries*EntryWords }
+
+// Log is a view over a memory region laid out as above.
+type Log struct {
+	mem  *nvm.Memory
+	size uint64 // entries
+}
+
+// New formats a log with size entries in mem. The region must be at least
+// WordsFor(size) words and zeroed (fresh memories are).
+func New(t *sim.Thread, mem *nvm.Memory, size uint64) *Log {
+	if mem.Words() < WordsFor(size) {
+		panic("oplog: memory too small for log")
+	}
+	l := &Log{mem: mem, size: size}
+	mem.Store(t, offCompletedTail, 0)
+	mem.Store(t, offLogTail, 0)
+	mem.Store(t, offLogMin, size-1)
+	return l
+}
+
+// Attach re-opens an existing log (durable recovery).
+func Attach(mem *nvm.Memory, size uint64) *Log { return &Log{mem: mem, size: size} }
+
+// Mem exposes the backing memory (for flush protocols owned by the UC).
+func (l *Log) Mem() *nvm.Memory { return l.mem }
+
+// Size returns the number of entries.
+func (l *Log) Size() uint64 { return l.size }
+
+// EntryOff returns the word offset of the entry for absolute index idx.
+func (l *Log) EntryOff(idx uint64) uint64 { return entryBase + (idx%l.size)*EntryWords }
+
+// FullMark returns the emptyBit value that means "full" for absolute index
+// idx: 1 on the first pass over the buffer, 0 on the second, alternating.
+func (l *Log) FullMark(idx uint64) uint64 { return 1 - (idx/l.size)%2 }
+
+// WriteArgs stores the operation code and arguments of entry idx without
+// touching the emptyBit. The paper's combiner writes all batch arguments
+// first, flushes, fences, and only then sets emptyBits.
+func (l *Log) WriteArgs(t *sim.Thread, idx, code, a0, a1 uint64) {
+	off := l.EntryOff(idx)
+	l.mem.Store(t, off+entA0, a0)
+	l.mem.Store(t, off+entA1, a1)
+	l.mem.Store(t, off+entCode, code)
+}
+
+// SetFull flips entry idx's emptyBit to the full mark for idx.
+func (l *Log) SetFull(t *sim.Thread, idx uint64) {
+	l.mem.Store(t, l.EntryOff(idx)+entEmpty, l.FullMark(idx))
+}
+
+// IsFull reports whether entry idx currently holds the operation for
+// absolute index idx (as opposed to a previous pass or nothing).
+func (l *Log) IsFull(t *sim.Thread, idx uint64) bool {
+	return l.mem.Load(t, l.EntryOff(idx)+entEmpty) == l.FullMark(idx)
+}
+
+// ReadEntry returns the operation stored for absolute index idx. Callers
+// must have observed IsFull(idx).
+func (l *Log) ReadEntry(t *sim.Thread, idx uint64) (code, a0, a1 uint64) {
+	off := l.EntryOff(idx)
+	return l.mem.Load(t, off+entCode), l.mem.Load(t, off+entA0), l.mem.Load(t, off+entA1)
+}
+
+// LogTail loads the next-free-entry index.
+func (l *Log) LogTail(t *sim.Thread) uint64 { return l.mem.Load(t, offLogTail) }
+
+// CASLogTail reserves entries [old, new) if no other combiner won the race.
+func (l *Log) CASLogTail(t *sim.Thread, old, new uint64) bool {
+	return l.mem.CAS(t, offLogTail, old, new)
+}
+
+// completedTail is stored tagged: value<<1 | dirty. The dirty bit supports
+// the flush-elision optimization of PREP-Durable (§5.2): a CASing thread may
+// skip its CLFLUSH when a later value has already been persisted.
+const ctDirty = 1
+
+// CompletedTail loads the applied-up-to index.
+func (l *Log) CompletedTail(t *sim.Thread) uint64 {
+	return l.mem.Load(t, offCompletedTail) >> 1
+}
+
+// CASCompletedTail advances completedTail from old to new (values, not
+// tagged words). The new value is stored dirty; PersistCompletedTail clears
+// it. It returns false if completedTail was not old.
+func (l *Log) CASCompletedTail(t *sim.Thread, old, new uint64) bool {
+	w := l.mem.Load(t, offCompletedTail)
+	if w>>1 != old {
+		return false
+	}
+	return l.mem.CAS(t, offCompletedTail, w, new<<1|ctDirty)
+}
+
+// CompletedTailOff returns the word offset of completedTail so the UC can
+// flush its line.
+func (l *Log) CompletedTailOff() uint64 { return offCompletedTail }
+
+// PersistCompletedTail makes the completedTail value just CASed to `val`
+// durable. With elide set (the paper's marking optimization), the flush is
+// skipped when another thread has already persisted an equal or later
+// value — sound because completedTail is monotonic and recovery only needs
+// a lower bound. Returns true if a flush was issued.
+func (l *Log) PersistCompletedTail(t *sim.Thread, f *nvm.Flusher, val uint64, elide bool) bool {
+	if elide {
+		w := l.mem.Load(t, offCompletedTail)
+		if w>>1 >= val && w&ctDirty == 0 {
+			return false // a later value is already persisted
+		}
+	}
+	f.FlushLineSync(t, l.mem, offCompletedTail)
+	// Best-effort clear of the dirty tag; failure means someone advanced it.
+	w := l.mem.Load(t, offCompletedTail)
+	if w>>1 == val && w&ctDirty != 0 {
+		l.mem.CAS(t, offCompletedTail, w, val<<1)
+	}
+	return true
+}
+
+// PersistedCompletedTail reads completedTail's persisted value (recovery).
+func (l *Log) PersistedCompletedTail() uint64 {
+	return l.mem.PersistedLoad(offCompletedTail) >> 1
+}
+
+// LogMin loads the reuse horizon.
+func (l *Log) LogMin(t *sim.Thread) uint64 { return l.mem.Load(t, offLogMin) }
+
+// SetLogMin advances the reuse horizon.
+func (l *Log) SetLogMin(t *sim.Thread, v uint64) { l.mem.Store(t, offLogMin, v) }
+
+// AdvanceLogMin moves logMin forward to v if v is larger, using CAS so a
+// delayed combiner holding a stale localTail scan can never move the reuse
+// horizon backwards. It returns the resulting logMin.
+func (l *Log) AdvanceLogMin(t *sim.Thread, v uint64) uint64 {
+	for {
+		cur := l.mem.Load(t, offLogMin)
+		if v <= cur {
+			return cur
+		}
+		if l.mem.CAS(t, offLogMin, cur, v) {
+			return v
+		}
+	}
+}
+
+// PersistedIsFull checks an entry's full mark in the persisted view
+// (durable recovery).
+func (l *Log) PersistedIsFull(idx uint64) bool {
+	return l.mem.PersistedLoad(l.EntryOff(idx)+entEmpty) == l.FullMark(idx)
+}
+
+// PersistedReadEntry reads an entry from the persisted view (durable
+// recovery).
+func (l *Log) PersistedReadEntry(idx uint64) (code, a0, a1 uint64) {
+	off := l.EntryOff(idx)
+	return l.mem.PersistedLoad(off + entCode), l.mem.PersistedLoad(off + entA0), l.mem.PersistedLoad(off + entA1)
+}

@@ -1,0 +1,293 @@
+// Package sim provides a deterministic virtual-time scheduler for simulated
+// threads.
+//
+// The reproduction of PREP-UC needs scaling curves for up to ~100 hardware
+// threads, crash injection at adversarial points, and a latency model for
+// (simulated) non-volatile memory. Real goroutine parallelism cannot supply
+// any of these portably, so sim executes the real algorithm code on simulated
+// threads under a discrete-event regime:
+//
+//   - Every simulated thread owns a virtual clock, in nanoseconds. The clock
+//     models the time a dedicated hardware thread would have consumed.
+//   - Each shared-memory access calls Thread.Step(cost), which advances the
+//     clock and then hands control to the thread with the minimum clock.
+//     Exactly one simulated thread executes at any real instant, so all
+//     shared state touched between Step calls is free of data races by
+//     construction, and compare-and-swap is trivially atomic.
+//   - Throughput is measured as operations per virtual second, which is
+//     independent of the host CPU count and fully reproducible from a seed.
+//
+// A crash (modelling a power failure) freezes the scheduler: every
+// subsequent Step panics with a value recognized by Crashed, unwinding each
+// simulated thread out of whatever operation it was executing — so crashes
+// land mid-operation, as they do on hardware.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Crash is the panic value raised by Step once the scheduler is frozen.
+// Simulated threads are unwound with it; Spawn's wrapper recovers it.
+type Crash struct{}
+
+func (Crash) Error() string { return "sim: system crashed (power failure)" }
+
+// Crashed reports whether a recovered panic value is a simulated crash.
+func Crashed(v any) bool {
+	_, ok := v.(Crash)
+	return ok
+}
+
+// State of a simulated thread.
+type state int
+
+const (
+	ready   state = iota // parked, waiting for its turn
+	running              // the single active thread
+	done                 // exited
+)
+
+// Thread is a simulated hardware thread. All methods must be called from the
+// goroutine that was handed the Thread by Spawn.
+type Thread struct {
+	id    int
+	name  string
+	node  int // NUMA node the thread is pinned to
+	clock uint64
+	state state
+	idx   int // heap index, -1 when not in heap
+	sch   *Scheduler
+	wake  chan struct{}
+	rng   *rand.Rand
+}
+
+// ID returns the thread's scheduler-wide identifier.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the name given at Spawn time.
+func (t *Thread) Name() string { return t.name }
+
+// Node returns the NUMA node the thread is pinned to.
+func (t *Thread) Node() int { return t.node }
+
+// Clock returns the thread's virtual time in nanoseconds.
+func (t *Thread) Clock() uint64 { return t.clock }
+
+// Rand returns the thread's private deterministic random source.
+func (t *Thread) Rand() *rand.Rand { return t.rng }
+
+// Scheduler returns the owning scheduler.
+func (t *Thread) Scheduler() *Scheduler { return t.sch }
+
+// Scheduler runs simulated threads in virtual-time order.
+type Scheduler struct {
+	mu      sync.Mutex
+	seed    int64
+	nextID  int
+	heap    threadHeap
+	current *Thread
+	live    int
+	allDone chan struct{}
+	events  uint64
+	frozen  bool
+	crashAt uint64 // event index at which to freeze; 0 = never
+	started bool
+}
+
+// New creates a scheduler. The seed determines every per-thread random
+// source, making whole runs reproducible.
+func New(seed int64) *Scheduler {
+	return &Scheduler{seed: seed, allDone: make(chan struct{})}
+}
+
+// Events returns the number of Step calls executed so far.
+func (s *Scheduler) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// CrashAtEvent arranges for the system to freeze at the given global event
+// index (1-based). It must be set before Run. A value of 0 disables crashing.
+func (s *Scheduler) CrashAtEvent(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashAt = n
+}
+
+// Frozen reports whether the system has crashed.
+func (s *Scheduler) Frozen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozen
+}
+
+// Spawn registers a simulated thread pinned to the given NUMA node and
+// starting at virtual time startClock. The function fn runs on its own
+// goroutine but only while the scheduler grants it the baton. Spawn may be
+// called before Run or from inside a running simulated thread (in the latter
+// case the new thread inherits the spawner's current clock if startClock is
+// zero... callers pass the desired clock explicitly).
+func (s *Scheduler) Spawn(name string, node int, startClock uint64, fn func(*Thread)) *Thread {
+	s.mu.Lock()
+	t := &Thread{
+		id:    s.nextID,
+		name:  name,
+		node:  node,
+		clock: startClock,
+		state: ready,
+		idx:   -1,
+		sch:   s,
+		wake:  make(chan struct{}, 1),
+	}
+	t.rng = rand.New(rand.NewSource(s.seed + int64(t.id)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
+	s.nextID++
+	s.live++
+	heap.Push(&s.heap, t)
+	s.mu.Unlock()
+
+	go func() {
+		<-t.wake // wait until scheduled for the first time
+		defer func() {
+			if r := recover(); r != nil && !Crashed(r) {
+				// Re-panic real bugs with context; crashes exit quietly.
+				panic(fmt.Sprintf("sim thread %q: %v", t.name, r))
+			}
+			s.exit(t)
+		}()
+		s.mu.Lock()
+		if s.frozen {
+			s.mu.Unlock()
+			panic(Crash{})
+		}
+		s.mu.Unlock()
+		fn(t)
+	}()
+	return t
+}
+
+// Run starts dispatching and blocks until every spawned thread has exited.
+func (s *Scheduler) Run() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("sim: Run called twice")
+	}
+	s.started = true
+	if s.live == 0 {
+		s.mu.Unlock()
+		return
+	}
+	next := heap.Pop(&s.heap).(*Thread)
+	next.state = running
+	s.current = next
+	s.mu.Unlock()
+	next.wake <- struct{}{}
+	<-s.allDone
+}
+
+// Step advances the calling thread's virtual clock by cost nanoseconds and
+// yields to the minimum-clock runnable thread. It panics with Crash{} if the
+// system has frozen (crashed).
+func (t *Thread) Step(cost uint64) {
+	if cost == 0 {
+		// A zero-cost event would let the caller keep the minimum clock and
+		// starve every other thread; charge the 1ns floor.
+		cost = 1
+	}
+	s := t.sch
+	s.mu.Lock()
+	t.clock += cost
+	s.events++
+	if !s.frozen && s.crashAt != 0 && s.events >= s.crashAt {
+		s.frozen = true
+	}
+	if s.frozen {
+		s.mu.Unlock()
+		panic(Crash{})
+	}
+	if len(s.heap.ts) == 0 || !s.heap.ts[0].less(t) {
+		// Fast path: the caller is still the minimum-clock thread.
+		s.mu.Unlock()
+		return
+	}
+	next := heap.Pop(&s.heap).(*Thread)
+	next.state = running
+	t.state = ready
+	heap.Push(&s.heap, t)
+	s.current = next
+	s.mu.Unlock()
+	next.wake <- struct{}{}
+	<-t.wake
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+	if frozen {
+		panic(Crash{})
+	}
+}
+
+// exit removes the thread from the scheduler and hands the baton onward.
+func (s *Scheduler) exit(t *Thread) {
+	s.mu.Lock()
+	t.state = done
+	s.live--
+	if s.live == 0 {
+		s.mu.Unlock()
+		close(s.allDone)
+		return
+	}
+	if len(s.heap.ts) == 0 {
+		// Remaining threads exist but none is runnable: every live thread is
+		// blocked inside Step waiting for the baton, which is impossible
+		// because Step always re-enqueues before blocking. Treat as a bug.
+		s.mu.Unlock()
+		panic("sim: no runnable thread but live threads remain")
+	}
+	next := heap.Pop(&s.heap).(*Thread)
+	next.state = running
+	s.current = next
+	s.mu.Unlock()
+	next.wake <- struct{}{}
+}
+
+// CrashNow freezes the system from within a simulated thread. The calling
+// thread panics with Crash{} on its next Step; parked threads panic when the
+// baton reaches them.
+func (s *Scheduler) CrashNow() {
+	s.mu.Lock()
+	s.frozen = true
+	s.mu.Unlock()
+}
+
+// less orders threads by (clock, id) for deterministic tie-breaking.
+func (t *Thread) less(u *Thread) bool {
+	if t.clock != u.clock {
+		return t.clock < u.clock
+	}
+	return t.id < u.id
+}
+
+type threadHeap struct{ ts []*Thread }
+
+func (h *threadHeap) Len() int           { return len(h.ts) }
+func (h *threadHeap) Less(i, j int) bool { return h.ts[i].less(h.ts[j]) }
+func (h *threadHeap) Swap(i, j int) {
+	h.ts[i], h.ts[j] = h.ts[j], h.ts[i]
+	h.ts[i].idx = i
+	h.ts[j].idx = j
+}
+func (h *threadHeap) Push(x any) { t := x.(*Thread); t.idx = len(h.ts); h.ts = append(h.ts, t) }
+func (h *threadHeap) Pop() any {
+	old := h.ts
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	h.ts = old[:n-1]
+	return t
+}

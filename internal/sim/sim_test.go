@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSingleThreadRunsToCompletion(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Spawn("w", 0, 0, func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Step(10)
+		}
+		ran = true
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("thread did not run")
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New(1)
+	var final uint64
+	s.Spawn("w", 0, 0, func(th *Thread) {
+		th.Step(7)
+		th.Step(3)
+		final = th.Clock()
+	})
+	s.Run()
+	if final != 10 {
+		t.Fatalf("clock = %d, want 10", final)
+	}
+}
+
+func TestMinClockThreadRunsFirst(t *testing.T) {
+	// Two threads with different step costs: the cheap-step thread must
+	// complete more steps in the same virtual window.
+	s := New(1)
+	var order []int
+	s.Spawn("slow", 0, 0, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			th.Step(100)
+			order = append(order, 0)
+		}
+	})
+	s.Spawn("fast", 0, 0, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			th.Step(10)
+			order = append(order, 1)
+		}
+	})
+	s.Run()
+	// fast's steps land at t=10,20,30; slow's at 100,200,300. All fast
+	// entries must precede all slow entries except slow's first step which
+	// happens at t=100 after fast finished (fast done by t=30).
+	want := []int{1, 1, 1, 0, 0, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		s := New(42)
+		var order []int
+		for w := 0; w < 4; w++ {
+			w := w
+			s.Spawn("w", 0, 0, func(th *Thread) {
+				for i := 0; i < 50; i++ {
+					th.Step(uint64(th.Rand().Intn(20) + 1))
+					order = append(order, w)
+				}
+			})
+		}
+		s.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	s := New(1)
+	var first int
+	recorded := false
+	for w := 0; w < 3; w++ {
+		w := w
+		s.Spawn("w", 0, 0, func(th *Thread) {
+			th.Step(5)
+			if !recorded {
+				first = w
+				recorded = true
+			}
+		})
+	}
+	s.Run()
+	if first != 0 {
+		t.Fatalf("first completed step by thread %d, want 0 (lowest ID wins ties)", first)
+	}
+}
+
+func TestMutualExclusionOfSteps(t *testing.T) {
+	// Plain (non-atomic) increments of a shared counter must not be lost:
+	// the scheduler guarantees only one thread runs at a time.
+	s := New(7)
+	counter := 0
+	const perThread = 1000
+	const nThreads = 8
+	for w := 0; w < nThreads; w++ {
+		s.Spawn("w", 0, 0, func(th *Thread) {
+			for i := 0; i < perThread; i++ {
+				th.Step(1)
+				counter++
+			}
+		})
+	}
+	s.Run()
+	if counter != perThread*nThreads {
+		t.Fatalf("counter = %d, want %d", counter, perThread*nThreads)
+	}
+}
+
+func TestCrashAtEventUnwindsAllThreads(t *testing.T) {
+	s := New(1)
+	s.CrashAtEvent(500)
+	completed := 0
+	crashed := 0
+	for w := 0; w < 4; w++ {
+		s.Spawn("w", 0, 0, func(th *Thread) {
+			defer func() {
+				if r := recover(); r != nil {
+					if !Crashed(r) {
+						panic(r)
+					}
+					crashed++
+				}
+			}()
+			for i := 0; i < 1000; i++ {
+				th.Step(1)
+			}
+			completed++
+		})
+	}
+	s.Run()
+	if crashed != 4 {
+		t.Fatalf("crashed = %d, want 4", crashed)
+	}
+	if completed != 0 {
+		t.Fatalf("completed = %d, want 0", completed)
+	}
+	if !s.Frozen() {
+		t.Fatal("scheduler not frozen after crash")
+	}
+}
+
+func TestCrashNowFreezesOthers(t *testing.T) {
+	s := New(1)
+	crashed := 0
+	s.Spawn("killer", 0, 0, func(th *Thread) {
+		defer func() {
+			if r := recover(); r != nil && !Crashed(r) {
+				panic(r)
+			}
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		th.Step(1)
+		s.CrashNow()
+		defer func() { recover() }()
+		th.Step(1) // will panic Crash{}
+	})
+	for w := 0; w < 3; w++ {
+		s.Spawn("victim", 0, 0, func(th *Thread) {
+			defer func() {
+				if Crashed(recover()) {
+					crashed++
+				}
+			}()
+			for i := 0; i < 1000; i++ {
+				th.Step(1)
+			}
+		})
+	}
+	s.Run()
+	if crashed != 3 {
+		t.Fatalf("crashed victims = %d, want 3", crashed)
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	s := New(1)
+	childRan := false
+	s.Spawn("parent", 0, 0, func(th *Thread) {
+		th.Step(1)
+		s.Spawn("child", 1, th.Clock(), func(c *Thread) {
+			c.Step(1)
+			childRan = true
+		})
+		for i := 0; i < 10; i++ {
+			th.Step(1)
+		}
+	})
+	s.Run()
+	if !childRan {
+		t.Fatal("dynamically spawned thread did not run")
+	}
+}
+
+func TestThreadAccessors(t *testing.T) {
+	s := New(3)
+	s.Spawn("alpha", 2, 100, func(th *Thread) {
+		if th.Name() != "alpha" {
+			t.Errorf("Name = %q", th.Name())
+		}
+		if th.Node() != 2 {
+			t.Errorf("Node = %d", th.Node())
+		}
+		if th.Clock() != 100 {
+			t.Errorf("start Clock = %d", th.Clock())
+		}
+		if th.Scheduler() != s {
+			t.Error("Scheduler mismatch")
+		}
+		if th.ID() != 0 {
+			t.Errorf("ID = %d", th.ID())
+		}
+		th.Step(5)
+	})
+	s.Run()
+}
+
+func TestEventsCounted(t *testing.T) {
+	s := New(1)
+	s.Spawn("w", 0, 0, func(th *Thread) {
+		for i := 0; i < 25; i++ {
+			th.Step(1)
+		}
+	})
+	s.Run()
+	if got := s.Events(); got != 25 {
+		t.Fatalf("Events = %d, want 25", got)
+	}
+}
+
+func TestZeroCostStepsRoundRobin(t *testing.T) {
+	// With zero costs, ties are broken by ID so execution must alternate
+	// deterministically and still terminate.
+	s := New(1)
+	total := 0
+	for w := 0; w < 3; w++ {
+		s.Spawn("w", 0, 0, func(th *Thread) {
+			for i := 0; i < 10; i++ {
+				th.Step(0)
+				total++
+			}
+		})
+	}
+	s.Run()
+	if total != 30 {
+		t.Fatalf("total = %d, want 30", total)
+	}
+}
+
+func TestDefaultCostsOrdering(t *testing.T) {
+	c := DefaultCosts()
+	if c.RemoteAccess <= c.LocalAccess {
+		t.Error("remote access should cost more than local")
+	}
+	if c.WBINVDBase <= c.FlushSync {
+		t.Error("WBINVD should dwarf a single line flush")
+	}
+	if c.FlushSync <= c.FlushLine {
+		t.Error("synchronous flush should cost more than async issue")
+	}
+}
+
+func TestManyThreadsStress(t *testing.T) {
+	s := New(99)
+	const n = 64
+	counts := make([]int, n)
+	for w := 0; w < n; w++ {
+		w := w
+		s.Spawn("w", w%4, 0, func(th *Thread) {
+			for i := 0; i < 200; i++ {
+				th.Step(uint64(1 + th.Rand().Intn(5)))
+				counts[w]++
+			}
+		})
+	}
+	s.Run()
+	for w, c := range counts {
+		if c != 200 {
+			t.Fatalf("thread %d made %d steps, want 200", w, c)
+		}
+	}
+}

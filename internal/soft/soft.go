@@ -1,0 +1,360 @@
+// Package soft implements the SOFT hashtable of Zuriel et al. (OOPSLA '19),
+// the hand-crafted persistent data structure PREP-UC is framed against in
+// Figure 6: "sets with an optimal flushing technique".
+//
+// What matters for the comparison is SOFT's cost profile:
+//
+//   - an update persists ONLY the modified words — one persistent node
+//     (a single cache line) flushed with one fence;
+//   - read-only operations perform no flushes and no fences at all;
+//   - data-structure links are never persisted: traversal happens in
+//     volatile memory, and recovery reconstructs the table by scanning the
+//     persistent nodes.
+//
+// Each key therefore exists twice, once in a volatile node (with the list
+// links) and once in a persistent node (with validity metadata), exactly as
+// in the original. One deliberate simplification, documented in DESIGN.md:
+// the original's lock-free list operations are replaced by a per-bucket
+// spinlock for updates (reads stay lock-free and flush-free), which leaves
+// the flush/fence profile — the property under evaluation — unchanged.
+package soft
+
+import (
+	"fmt"
+
+	"prepuc/internal/locks"
+	"prepuc/internal/nvm"
+	"prepuc/internal/pmem"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// Volatile node layout: [key, value, pnode offset, next].
+const (
+	vnKey   = 0
+	vnVal   = 1
+	vnPNode = 2
+	vnNext  = 3
+	vnWords = 4
+)
+
+// Persistent node layout (exactly one line, line-aligned so recovery can
+// scan the region): [key, value, valid]. valid: 0 = free/deleted,
+// 1 = inserted. When a node is on the free list, key holds the next free
+// node's offset (the list itself is never persisted; it is rebuilt — in
+// fact discarded — at recovery).
+const (
+	pnKey   = 0
+	pnVal   = 1
+	pnValid = 2
+	pnWords = nvm.WordsPerLine
+	// pnBase is where persistent nodes start in their region.
+	pnBase = nvm.WordsPerLine
+)
+
+// Config parameterizes a SOFT table.
+type Config struct {
+	// Buckets is the fixed bucket count (the paper compares 1k and 10k).
+	Buckets uint64
+	// VolatileWords / PersistentWords size the two regions.
+	VolatileWords, PersistentWords uint64
+	// Generation disambiguates memory names across crashes.
+	Generation int
+}
+
+// Soft is one SOFT hashtable.
+type Soft struct {
+	cfg    Config
+	sys    *nvm.System
+	vmem   *nvm.Memory // buckets, locks, volatile nodes
+	valloc *pmem.Allocator
+	pmem   *nvm.Memory // persistent node slab
+	// Offsets inside vmem.
+	bucketsOff, locksOff uint64
+	slabOff              uint64 // [0]=bump index, [1]=free-list head, [2]=slab lock
+	flushers             []*nvm.Flusher
+}
+
+var _ uc.UC = (*Soft)(nil)
+
+func (c Config) memName(s string) string { return fmt.Sprintf("soft.g%d.%s", c.Generation, s) }
+
+// New builds an empty table inside sys.
+func New(t *sim.Thread, sys *nvm.System, cfg Config) *Soft {
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 1024
+	}
+	if cfg.VolatileWords == 0 {
+		cfg.VolatileWords = 1 << 22
+	}
+	if cfg.PersistentWords == 0 {
+		cfg.PersistentWords = 1 << 22
+	}
+	s := &Soft{cfg: cfg, sys: sys}
+	s.vmem = sys.NewMemory(cfg.memName("volatile"), nvm.Volatile, nvm.Interleaved, cfg.VolatileWords)
+	s.valloc = pmem.New(t, s.vmem)
+	s.pmem = sys.NewMemory(cfg.memName("persistent"), nvm.NVM, nvm.Interleaved, cfg.PersistentWords)
+	s.bucketsOff = s.valloc.Alloc(t, cfg.Buckets)
+	s.locksOff = s.valloc.Alloc(t, cfg.Buckets)
+	s.slabOff = s.valloc.Alloc(t, 4)
+	return s
+}
+
+// lockAlloc serializes ALL allocator metadata updates — both the persistent
+// node slab and the volatile pmem.Allocator, which is single-writer by
+// contract (every other system in this repository serializes allocation
+// under its combiner/writer lock; SOFT's fine-grained bucket locks do not).
+// The original SOFT uses per-thread allocation pools; a spinlock preserves
+// the flush/fence profile, which is the property under evaluation.
+func (s *Soft) lockAlloc(t *sim.Thread) locks.TryLock {
+	l := locks.NewTryLock(s.vmem, s.slabOff+2)
+	var b backoff
+	for !l.TryAcquire(t) {
+		b.spin(t)
+	}
+	return l
+}
+
+// vnAlloc and vnFree wrap the volatile allocator under the allocation lock.
+func (s *Soft) vnAlloc(t *sim.Thread) uint64 {
+	l := s.lockAlloc(t)
+	defer l.Release(t)
+	return s.valloc.Alloc(t, vnWords)
+}
+
+func (s *Soft) vnFree(t *sim.Thread, off uint64) {
+	l := s.lockAlloc(t)
+	defer l.Release(t)
+	s.valloc.Free(t, off)
+}
+
+// pnAlloc carves a line-aligned persistent node from the slab.
+func (s *Soft) pnAlloc(t *sim.Thread) uint64 {
+	l := s.lockAlloc(t)
+	defer l.Release(t)
+	if head := s.vmem.Load(t, s.slabOff+1); head != 0 {
+		s.vmem.Store(t, s.slabOff+1, s.pmem.Load(t, head+pnKey))
+		return head
+	}
+	i := s.vmem.Load(t, s.slabOff)
+	off := pnBase + i*pnWords
+	if off+pnWords > s.pmem.Words() {
+		panic("soft: persistent node slab exhausted")
+	}
+	s.vmem.Store(t, s.slabOff, i+1)
+	return off
+}
+
+// pnFree pushes a node (already marked invalid and persisted) onto the
+// volatile free list.
+func (s *Soft) pnFree(t *sim.Thread, off uint64) {
+	l := s.lockAlloc(t)
+	defer l.Release(t)
+	s.pmem.Store(t, off+pnKey, s.vmem.Load(t, s.slabOff+1))
+	s.vmem.Store(t, s.slabOff+1, off)
+}
+
+func (s *Soft) bucket(key uint64) uint64 { return splitmix64(key) % s.cfg.Buckets }
+
+func (s *Soft) lockBucket(t *sim.Thread, key uint64) locks.TryLock {
+	l := locks.NewTryLock(s.vmem, s.locksOff+s.bucket(key))
+	var b backoff
+	for !l.TryAcquire(t) {
+		b.spin(t)
+	}
+	return l
+}
+
+// Get returns the value for key or uc.NotFound. No flushes, no fences, no
+// locks.
+func (s *Soft) Get(t *sim.Thread, key uint64) uint64 {
+	slot := s.bucketsOff + s.bucket(key)
+	for n := s.vmem.Load(t, slot); n != 0; n = s.vmem.Load(t, n+vnNext) {
+		if s.vmem.Load(t, n+vnKey) == key {
+			return s.vmem.Load(t, n+vnVal)
+		}
+	}
+	return uc.NotFound
+}
+
+// Contains reports (as 0/1) whether key is present.
+func (s *Soft) Contains(t *sim.Thread, key uint64) uint64 {
+	if s.Get(t, key) == uc.NotFound {
+		return 0
+	}
+	return 1
+}
+
+// Insert adds or updates key. The only persistence work is one line flush
+// plus one fence on the key's persistent node.
+func (s *Soft) Insert(t *sim.Thread, key, val uint64, f *nvm.Flusher) uint64 {
+	l := s.lockBucket(t, key)
+	defer l.Release(t)
+	slot := s.bucketsOff + s.bucket(key)
+	for n := s.vmem.Load(t, slot); n != 0; n = s.vmem.Load(t, n+vnNext) {
+		if s.vmem.Load(t, n+vnKey) == key {
+			pn := s.vmem.Load(t, n+vnPNode)
+			s.pmem.Store(t, pn+pnVal, val)
+			f.FlushLine(t, s.pmem, pn)
+			f.Fence(t)
+			s.vmem.Store(t, n+vnVal, val)
+			return 0
+		}
+	}
+	// Persist the node first, then link it into the volatile index.
+	pn := s.pnAlloc(t)
+	s.pmem.Store(t, pn+pnKey, key)
+	s.pmem.Store(t, pn+pnVal, val)
+	s.pmem.Store(t, pn+pnValid, 1)
+	f.FlushLine(t, s.pmem, pn)
+	f.Fence(t)
+	vn := s.vnAlloc(t)
+	s.vmem.Store(t, vn+vnKey, key)
+	s.vmem.Store(t, vn+vnVal, val)
+	s.vmem.Store(t, vn+vnPNode, pn)
+	s.vmem.Store(t, vn+vnNext, s.vmem.Load(t, slot))
+	s.vmem.Store(t, slot, vn)
+	return 1
+}
+
+// Delete removes key; one line flush plus one fence when present.
+func (s *Soft) Delete(t *sim.Thread, key uint64, f *nvm.Flusher) uint64 {
+	l := s.lockBucket(t, key)
+	defer l.Release(t)
+	slot := s.bucketsOff + s.bucket(key)
+	prev := uint64(0)
+	for n := s.vmem.Load(t, slot); n != 0; {
+		next := s.vmem.Load(t, n+vnNext)
+		if s.vmem.Load(t, n+vnKey) == key {
+			pn := s.vmem.Load(t, n+vnPNode)
+			s.pmem.Store(t, pn+pnValid, 0)
+			f.FlushLine(t, s.pmem, pn)
+			f.Fence(t)
+			if prev == 0 {
+				s.vmem.Store(t, slot, next)
+			} else {
+				s.vmem.Store(t, prev+vnNext, next)
+			}
+			s.vnFree(t, n)
+			s.pnFree(t, pn)
+			return 1
+		}
+		prev, n = n, next
+	}
+	return 0
+}
+
+// Size counts keys (tests; not part of SOFT's interface).
+func (s *Soft) Size(t *sim.Thread) uint64 {
+	var n uint64
+	for b := uint64(0); b < s.cfg.Buckets; b++ {
+		for v := s.vmem.Load(t, s.bucketsOff+b); v != 0; v = s.vmem.Load(t, v+vnNext) {
+			n++
+		}
+	}
+	return n
+}
+
+// Execute adapts SOFT to the uc.UC interface so the harness can drive it
+// like the universal constructions.
+func (s *Soft) Execute(t *sim.Thread, tid int, op uc.Op) uint64 {
+	t.Step(s.sys.Costs().OpBase)
+	switch op.Code {
+	case uc.OpGet:
+		return s.Get(t, op.A0)
+	case uc.OpContains:
+		return s.Contains(t, op.A0)
+	case uc.OpInsert:
+		return s.Insert(t, op.A0, op.A1, s.flusherFor(tid))
+	case uc.OpDelete:
+		return s.Delete(t, op.A0, s.flusherFor(tid))
+	default:
+		panic("soft: unsupported operation")
+	}
+}
+
+// flusherFor returns worker tid's flusher (CLWB ordering is per hardware
+// thread).
+func (s *Soft) flusherFor(tid int) *nvm.Flusher {
+	for len(s.flushers) <= tid {
+		s.flushers = append(s.flushers, nil)
+	}
+	if s.flushers[tid] == nil {
+		s.flushers[tid] = s.sys.NewFlusher()
+	}
+	return s.flushers[tid]
+}
+
+// Prefill inserts through the normal path (SOFT updates are cheap enough
+// that prefill needs no shortcut).
+func (s *Soft) Prefill(t *sim.Thread, ops []uc.Op) {
+	f := s.flusherFor(0)
+	for _, op := range ops {
+		if op.Code == uc.OpInsert {
+			s.Insert(t, op.A0, op.A1, f)
+		}
+	}
+}
+
+// Recover rebuilds a table after a crash by scanning the old persistent
+// node slab — SOFT's actual recovery strategy (links are never persisted).
+// Returns the rebuilt table and the number of recovered keys.
+func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*Soft, uint64, error) {
+	old := recSys.Memory(oldCfg.memName("persistent"))
+	ncfg := oldCfg
+	ncfg.Generation++
+	s := New(t, recSys, ncfg)
+	f := s.flusherFor(0)
+	var recovered uint64
+	for off := uint64(pnBase); off+pnWords <= old.Words(); off += pnWords {
+		if old.Load(t, off+pnValid) == 1 {
+			key := old.Load(t, off+pnKey)
+			val := old.Load(t, off+pnVal)
+			if s.Insert(t, key, val, f) == 1 {
+				recovered++
+			}
+		}
+	}
+	return s, recovered, nil
+}
+
+// DebugHeldLocks returns the bucket indexes whose lock word is nonzero
+// (tests and tooling only).
+func (s *Soft) DebugHeldLocks(t *sim.Thread) []uint64 {
+	var held []uint64
+	for b := uint64(0); b < s.cfg.Buckets; b++ {
+		if s.vmem.Load(t, s.locksOff+b) != 0 {
+			held = append(held, b)
+		}
+	}
+	return held
+}
+
+// DebugChainLen walks bucket b's volatile chain up to max nodes and returns
+// the count (max indicates a probable cycle). Tests and tooling only.
+func (s *Soft) DebugChainLen(t *sim.Thread, b, max uint64) uint64 {
+	var n uint64
+	for v := s.vmem.Load(t, s.bucketsOff+b); v != 0 && n < max; v = s.vmem.Load(t, v+vnNext) {
+		n++
+	}
+	return n
+}
+
+type backoff struct{ cur uint64 }
+
+func (b *backoff) spin(t *sim.Thread) {
+	if b.cur == 0 {
+		b.cur = 16
+	}
+	t.Step(b.cur)
+	if b.cur < 1024 {
+		b.cur *= 2
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
