@@ -13,11 +13,18 @@
 // from their next memory access), recovers, and checks the recovered state
 // against the host-side completion record. Background flushes and unfenced
 // write-back coin flips are enabled to make the crash states adversarial.
+//
+// Besides the correctness verdicts, every cycle measures how long recovery
+// took in virtual time and how many log entries it replayed; with
+// -format json the run emits one machine-readable document (schema
+// "prepuc-crash/v1") carrying those per-cycle records.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"prepuc/internal/core"
@@ -39,59 +46,139 @@ var (
 	logSize    = flag.Uint64("log", 256, "shared log entries")
 	seed       = flag.Int64("seed", 1, "base seed")
 	system     = flag.String("system", "all", "prep-durable, prep-buffered, cx, soft, onll or all")
+	format     = flag.String("format", "table", "output format: table or json")
+	outPath    = flag.String("o", "", "write results to this file (default stdout)")
 )
+
+// CrashSchema identifies the machine-readable crashtest output format.
+const CrashSchema = "prepuc-crash/v1"
+
+// recStats is what one recovery run measured.
+type recStats struct {
+	// RecoveryVirtualNS is the virtual time the recovery procedure took.
+	RecoveryVirtualNS uint64 `json:"recovery_virtual_ns"`
+	// Replayed is the number of log entries recovery re-applied (zero for
+	// systems whose recovery attaches to persisted state without replay).
+	Replayed uint64 `json:"replayed"`
+}
+
+// crashCycle is one iteration's record in the JSON document.
+type crashCycle struct {
+	Iteration int    `json:"iteration"`
+	OK        bool   `json:"ok"`
+	Completed uint64 `json:"completed_ops"`
+	Recovered uint64 `json:"recovered_ops"`
+	Lost      uint64 `json:"lost_completed"`
+	recStats
+}
+
+// crashSystemDoc groups one system's cycles.
+type crashSystemDoc struct {
+	System string       `json:"system"`
+	Cycles []crashCycle `json:"cycles"`
+}
+
+// crashDoc is the whole run.
+type crashDoc struct {
+	Schema     string           `json:"schema"`
+	Iterations int              `json:"iterations"`
+	Workers    int              `json:"workers"`
+	Epsilon    uint64           `json:"epsilon"`
+	LogSize    uint64           `json:"log_size"`
+	Seed       int64            `json:"seed"`
+	Systems    []crashSystemDoc `json:"systems"`
+}
 
 func main() {
 	flag.Parse()
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want table or json)\n", *format)
+		os.Exit(2)
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	progress := out
+	if *format == "json" {
+		progress = os.Stderr
+	}
+
+	doc := crashDoc{
+		Schema: CrashSchema, Iterations: *iterations, Workers: *workers,
+		Epsilon: *epsilon, LogSize: *logSize, Seed: *seed,
+	}
 	failures := 0
-	run := func(name string, fn func(iter int) (history.Report, bool)) {
-		fmt.Printf("=== %s: %d crash/recover cycles ===\n", name, *iterations)
+	run := func(name string, fn func(iter int) (history.Report, recStats, bool)) {
+		fmt.Fprintf(progress, "=== %s: %d crash/recover cycles ===\n", name, *iterations)
+		sd := crashSystemDoc{System: name}
 		for i := 0; i < *iterations; i++ {
-			rep, ok := fn(i)
+			rep, rs, ok := fn(i)
 			status := "OK "
 			if !ok {
 				status = "FAIL"
 				failures++
 			}
-			fmt.Printf("  [%s] crash %2d: %s\n", status, i, rep)
+			fmt.Fprintf(progress, "  [%s] crash %2d: %s replayed=%d recovery=%.3fms(virtual)\n",
+				status, i, rep, rs.Replayed, float64(rs.RecoveryVirtualNS)/1e6)
+			sd.Cycles = append(sd.Cycles, crashCycle{
+				Iteration: i, OK: ok,
+				Completed: rep.Completed, Recovered: rep.Recovered,
+				Lost: rep.LostCompleted, recStats: rs,
+			})
 		}
+		doc.Systems = append(doc.Systems, sd)
 	}
 	if *system == "all" || *system == "prep-durable" {
-		run("PREP-Durable", func(i int) (history.Report, bool) {
-			rep := crashPrep(core.Durable, i)
-			return rep, rep.DurableOK()
+		run("PREP-Durable", func(i int) (history.Report, recStats, bool) {
+			rep, rs := crashPrep(core.Durable, i)
+			return rep, rs, rep.DurableOK()
 		})
 	}
 	if *system == "all" || *system == "prep-buffered" {
 		beta := uint64(topo().ThreadsPerNode)
-		run("PREP-Buffered", func(i int) (history.Report, bool) {
-			rep := crashPrep(core.Buffered, i)
-			return rep, rep.BufferedOK(*epsilon, beta)
+		run("PREP-Buffered", func(i int) (history.Report, recStats, bool) {
+			rep, rs := crashPrep(core.Buffered, i)
+			return rep, rs, rep.BufferedOK(*epsilon, beta)
 		})
 	}
 	if *system == "all" || *system == "cx" {
-		run("CX-PUC", func(i int) (history.Report, bool) {
-			rep := crashCX(i)
-			return rep, rep.DurableOK()
+		run("CX-PUC", func(i int) (history.Report, recStats, bool) {
+			rep, rs := crashCX(i)
+			return rep, rs, rep.DurableOK()
 		})
 	}
 	if *system == "all" || *system == "soft" {
-		run("SOFT", func(i int) (history.Report, bool) {
-			rep := crashSOFT(i)
-			return rep, rep.DurableOK()
+		run("SOFT", func(i int) (history.Report, recStats, bool) {
+			rep, rs := crashSOFT(i)
+			return rep, rs, rep.DurableOK()
 		})
 	}
 	if *system == "all" || *system == "onll" {
-		run("ONLL", func(i int) (history.Report, bool) {
-			rep := crashONLL(i)
-			return rep, rep.DurableOK()
+		run("ONLL", func(i int) (history.Report, recStats, bool) {
+			rep, rs := crashONLL(i)
+			return rep, rs, rep.DurableOK()
 		})
 	}
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failures > 0 {
-		fmt.Printf("\n%d FAILURES\n", failures)
+		fmt.Fprintf(progress, "\n%d FAILURES\n", failures)
 		os.Exit(1)
 	}
-	fmt.Println("\nall crash/recover cycles satisfied their correctness condition")
+	fmt.Fprintln(progress, "\nall crash/recover cycles satisfied their correctness condition")
 }
 
 func topo() numa.Topology { return numa.Topology{Nodes: 2, ThreadsPerNode: (*workers + 1) / 2} }
@@ -140,7 +227,7 @@ func probeKeys(recSys *nvm.System, seed int64, completed []uint64,
 	return keys
 }
 
-func crashPrep(mode core.Mode, iter int) history.Report {
+func crashPrep(mode core.Mode, iter int) (history.Report, recStats) {
 	tp := topo()
 	base := *seed + int64(iter)*101
 	cfg := core.Config{
@@ -171,20 +258,25 @@ func crashPrep(mode core.Mode, iter int) history.Report {
 	recSch := sim.New(base + 2)
 	recSys := sys.Recover(recSch)
 	var rec *core.PREP
+	var report *core.RecoveryReport
+	var rs recStats
 	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
-		rec, _, err = core.Recover(t, recSys, cfg)
+		start := t.Clock()
+		rec, report, err = core.Recover(t, recSys, cfg)
+		rs.RecoveryVirtualNS = t.Clock() - start
 	})
 	recSch.Run()
 	if err != nil {
 		panic(err)
 	}
+	rs.Replayed = report.Replayed
 	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
 		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
 	})
-	return history.Check(keys, completed)
+	return history.Check(keys, completed), rs
 }
 
-func crashSOFT(iter int) history.Report {
+func crashSOFT(iter int) (history.Report, recStats) {
 	tp := topo()
 	base := *seed + int64(iter)*107 + 90_000
 	cfg := soft.Config{Buckets: 512, VolatileWords: 1 << 20, PersistentWords: 1 << 20}
@@ -204,17 +296,20 @@ func crashSOFT(iter int) history.Report {
 	recSch := sim.New(base + 2)
 	recSys := sys.Recover(recSch)
 	var rec *soft.Soft
+	var rs recStats
 	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
-		rec, _, _ = soft.Recover(t, recSys, cfg)
+		start := t.Clock()
+		rec, rs.Replayed, _ = soft.Recover(t, recSys, cfg)
+		rs.RecoveryVirtualNS = t.Clock() - start
 	})
 	recSch.Run()
 	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
 		return rec.Get(t, key) != uc.NotFound
 	})
-	return history.Check(keys, completed)
+	return history.Check(keys, completed), rs
 }
 
-func crashONLL(iter int) history.Report {
+func crashONLL(iter int) (history.Report, recStats) {
 	tp := topo()
 	base := *seed + int64(iter)*109 + 130_000
 	cfg := onll.Config{
@@ -241,8 +336,11 @@ func crashONLL(iter int) history.Report {
 	recSch := sim.New(base + 2)
 	recSys := sys.Recover(recSch)
 	var rec *onll.ONLL
+	var rs recStats
 	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
-		rec, _, err = onll.Recover(t, recSys, cfg)
+		start := t.Clock()
+		rec, rs.Replayed, err = onll.Recover(t, recSys, cfg)
+		rs.RecoveryVirtualNS = t.Clock() - start
 	})
 	recSch.Run()
 	if err != nil {
@@ -251,10 +349,10 @@ func crashONLL(iter int) history.Report {
 	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
 		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
 	})
-	return history.Check(keys, completed)
+	return history.Check(keys, completed), rs
 }
 
-func crashCX(iter int) history.Report {
+func crashCX(iter int) (history.Report, recStats) {
 	tp := topo()
 	base := *seed + int64(iter)*103 + 50_000
 	cfg := cxpuc.Config{
@@ -283,8 +381,11 @@ func crashCX(iter int) history.Report {
 	recSch := sim.New(base + 2)
 	recSys := sys.Recover(recSch)
 	var rec *cxpuc.CX
+	var rs recStats
 	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+		start := t.Clock()
 		rec, err = cxpuc.Recover(t, recSys, cfg)
+		rs.RecoveryVirtualNS = t.Clock() - start
 	})
 	recSch.Run()
 	if err != nil {
@@ -293,5 +394,5 @@ func crashCX(iter int) history.Report {
 	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
 		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
 	})
-	return history.Check(keys, completed)
+	return history.Check(keys, completed), rs
 }

@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	prepbench [-scale tiny|small|paper] [-experiment fig2a,fig3|all] [-seed N] [-list]
+//	prepbench [-scale tiny|small|paper] [-experiment fig2a,fig3|all] [-seed N]
+//	          [-format table|json] [-o FILE] [-list]
 //
-// Each experiment prints one table: thread counts down the rows, one
-// throughput column (ops per virtual second) per system, matching the
-// series of the corresponding figure in the paper. Absolute numbers are
+// With -format table (the default) each experiment prints one table: thread
+// counts down the rows, one throughput column (ops per virtual second) per
+// system, matching the series of the corresponding figure in the paper.
+// With -format json the run emits one machine-readable document (schema
+// "prepuc-bench/v1") whose per-point records carry the full metrics
+// breakdown — flushes, fences, WBINVD invocations, coherence transfers,
+// combiner batch statistics — of the measurement phase. Absolute numbers are
 // simulator-relative; the shapes (who wins, by what factor, where the
 // crossovers fall) are the reproduction target — see EXPERIMENTS.md.
 package main
@@ -14,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,9 +28,18 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "prepbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
 	expList := flag.String("experiment", "all", "comma-separated figure IDs, or 'all'")
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
+	format := flag.String("format", "table", "output format: table or json")
+	outPath := flag.String("o", "", "write results to this file (default stdout)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -40,6 +55,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want table or json)\n", *format)
+		os.Exit(2)
+	}
 	figs := harness.Catalog(sc)
 
 	if *list {
@@ -48,7 +67,7 @@ func main() {
 		}
 		fmt.Printf("%-18s %s\n", "ext-recovery",
 			"Recovery time: PREP-Durable ε windows vs ONLL full-history replay")
-		return
+		return nil
 	}
 
 	var ids []string
@@ -65,21 +84,52 @@ func main() {
 		}
 	}
 
-	fmt.Printf("PREP-UC evaluation — scale=%s seed=%d topology=%dx%d duration=%.1fms(virtual)\n",
+	// In table mode progress and tables go to the output; in json mode the
+	// document is the output and progress lines go to stderr.
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	progress := out
+	if *format == "json" {
+		progress = os.Stderr
+	}
+
+	doc := harness.NewBenchDoc(sc, *seed)
+	fmt.Fprintf(progress, "PREP-UC evaluation — scale=%s seed=%d topology=%dx%d duration=%.1fms(virtual)\n",
 		sc.Name, *seed, sc.Topology.Nodes, sc.Topology.ThreadsPerNode,
 		float64(sc.DurationNS)/1e6)
 	for _, id := range ids {
 		start := time.Now()
 		if id == "ext-recovery" {
-			fmt.Printf("\n=== ext-recovery: recovery time, checkpointing (PREP) vs log replay (ONLL) ===\n")
-			harness.RunRecoveryExperiment(sc, *seed, os.Stdout)
-			fmt.Printf("(wall time %.1fs)\n", time.Since(start).Seconds())
+			fmt.Fprintf(progress, "\n=== ext-recovery: recovery time, checkpointing (PREP) vs log replay (ONLL) ===\n")
+			points, err := harness.RunRecoveryExperiment(sc, *seed, progress)
+			if err != nil {
+				return err
+			}
+			doc.AddRecovery(points)
+			fmt.Fprintf(progress, "(wall time %.1fs)\n", time.Since(start).Seconds())
 			continue
 		}
 		fig := figs[id]
-		fmt.Printf("\n=== %s: %s ===\n", fig.ID, fig.Title)
-		points := harness.RunFigure(fig, sc, *seed, os.Stdout)
-		harness.WriteTable(os.Stdout, fig, points)
-		fmt.Printf("(wall time %.1fs)\n", time.Since(start).Seconds())
+		fmt.Fprintf(progress, "\n=== %s: %s ===\n", fig.ID, fig.Title)
+		points, err := harness.RunFigure(fig, sc, *seed, progress)
+		if err != nil {
+			return err
+		}
+		doc.AddFigure(fig, points)
+		if *format == "table" {
+			harness.WriteTable(out, fig, points)
+		}
+		fmt.Fprintf(progress, "(wall time %.1fs)\n", time.Since(start).Seconds())
 	}
+	if *format == "json" {
+		return doc.WriteBenchJSON(out)
+	}
+	return nil
 }

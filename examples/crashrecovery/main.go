@@ -31,15 +31,15 @@ const workers = 8
 func run(single bool, seed int64) (history.Report, bool) {
 	topo := numa.Topology{Nodes: 2, ThreadsPerNode: 4}
 	cfg := core.Config{
-		Mode:           core.Buffered,
-		Topology:       topo,
-		Workers:        workers,
-		LogSize:        128,
-		Epsilon:        32,
-		Factory:        seq.HashMapFactory(64),
-		Attacher:       seq.HashMapAttacher,
-		HeapWords:      1 << 20,
-		SinglePReplica: single,
+		Mode:      core.Buffered,
+		Topology:  topo,
+		Workers:   workers,
+		LogSize:   128,
+		Epsilon:   32,
+		Factory:   seq.HashMapFactory(64),
+		Attacher:  seq.HashMapAttacher,
+		HeapWords: 1 << 20,
+		Ablations: core.Ablations{SinglePReplica: single},
 	}
 	bootSch := sim.New(seed)
 	// Aggressive background flushing makes the hazard likely.

@@ -85,8 +85,8 @@ func main() {
 		fmt.Printf("final size: %d (expected %d)\n", size, cfg.Workers*perWorker)
 		st := p.Stats()
 		fmt.Printf("updates: %d  reads: %d  combines: %d (avg batch %.1f)  persistence cycles: %d\n",
-			st.Updates, st.Reads, st.Combines,
-			float64(st.CombinedOps)/float64(st.Combines), st.PersistCycles)
+			st.Updates, st.Reads, st.CombinerAcquisitions,
+			st.MeanBatchSize, st.PersistCycles)
 	})
 	checkSch.Run()
 }

@@ -79,8 +79,15 @@ type Config struct {
 	// Recover bumps it automatically.
 	Generation int
 
-	// Ablation switches (all default to the paper's design):
+	// Ablations holds the design-ablation switches. The embedding promotes
+	// each switch (cfg.NoBatching etc.), so call sites toggling a single
+	// switch read the same as before the grouping.
+	Ablations
+}
 
+// Ablations are the switches that disable individual design elements of the
+// paper for ablation studies. The zero value is the paper's design.
+type Ablations struct {
 	// NoCTailElide disables the completedTail flush-elision marking of
 	// §5.2, flushing after every successful CAS.
 	NoCTailElide bool
@@ -98,7 +105,10 @@ type Config struct {
 	SinglePReplica bool
 }
 
-func (c *Config) validate() error {
+// Validate checks the configuration for internal consistency; New calls it,
+// and external tooling that assembles Configs programmatically can call it
+// early to fail before allocating a machine.
+func (c *Config) Validate() error {
 	if c.Workers <= 0 {
 		return fmt.Errorf("core: Workers must be positive, got %d", c.Workers)
 	}

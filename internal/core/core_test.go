@@ -587,11 +587,11 @@ func TestConfigValidation(t *testing.T) {
 	for i, mut := range bad {
 		cfg := base
 		mut(&cfg)
-		if err := cfg.validate(); err == nil {
+		if err := cfg.Validate(); err == nil {
 			t.Errorf("bad config %d validated", i)
 		}
 	}
-	if err := base.validate(); err != nil {
+	if err := base.Validate(); err != nil {
 		t.Errorf("good config rejected: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prepuc/internal/locks"
+	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
 	"prepuc/internal/oplog"
 	"prepuc/internal/pmem"
@@ -88,16 +89,6 @@ type pReplica struct {
 	ds    uc.DataStructure
 }
 
-// Stats counts engine-level events (host-side; not part of the simulation).
-type Stats struct {
-	Updates, Reads     uint64
-	Combines           uint64
-	CombinedOps        uint64
-	PersistCycles      uint64
-	BoundaryReductions uint64
-	CrossNodeHelps     uint64
-}
-
 // PREP is one instance of the PREP-UC universal construction.
 type PREP struct {
 	cfg   Config
@@ -109,10 +100,13 @@ type PREP struct {
 	preps []*pReplica
 	meta  *nvm.Memory
 	gctrl *nvm.Memory
-	stats Stats
+	met   *metrics.Registry
 }
 
-var _ uc.UC = (*PREP)(nil)
+var (
+	_ uc.UC           = (*PREP)(nil)
+	_ uc.Instrumented = (*PREP)(nil)
+)
 
 func (c Config) memName(s string) string { return fmt.Sprintf("g%d.%s", c.Generation, s) }
 
@@ -120,7 +114,7 @@ func (c Config) memName(s string) string { return fmt.Sprintf("g%d.%s", c.Genera
 // writes the initial checkpoint (empty persistent replicas plus metadata) so
 // a crash before the first persistence cycle recovers an empty object.
 func New(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	p := &PREP{
@@ -128,6 +122,7 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
 		sys:   sys,
 		beta:  uint64(cfg.Topology.ThreadsPerNode),
 		nodes: cfg.Topology.NodesFor(cfg.Workers),
+		met:   sys.Metrics(),
 	}
 	logKind := nvm.Volatile
 	if cfg.Mode == Durable {
@@ -219,8 +214,8 @@ func (p *PREP) Config() Config { return p.cfg }
 // Log exposes the shared log (tests and the harness use it).
 func (p *PREP) Log() *oplog.Log { return p.log }
 
-// Stats returns a copy of the engine counters.
-func (p *PREP) Stats() Stats { return p.stats }
+// Stats snapshots the machine-wide metrics registry (uc.Instrumented).
+func (p *PREP) Stats() metrics.Snapshot { return p.met.Snapshot() }
 
 // Nodes returns the number of populated NUMA nodes (volatile replicas).
 func (p *PREP) Nodes() int { return p.nodes }
@@ -273,10 +268,10 @@ func (p *PREP) Execute(t *sim.Thread, tid int, op uc.Op) uint64 {
 	rep := p.reps[node]
 	slot := p.cfg.Topology.SlotOf(tid)
 	if rep.ds.IsReadOnly(op.Code) {
-		p.stats.Reads++
+		p.met.Reads++
 		return p.readOnly(t, rep, slot, op)
 	}
-	p.stats.Updates++
+	p.met.Updates++
 	return p.update(t, rep, slot, op)
 }
 
@@ -379,7 +374,6 @@ func (p *PREP) update(t *sim.Thread, rep *replica, slot int, op uc.Op) uint64 {
 // combine runs the combiner protocol for rep. The caller holds rep's
 // combiner lock and has a pending op in mySlot. Returns the caller's result.
 func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
-	p.stats.Combines++
 	durable := p.cfg.Mode == Durable
 	f := rep.flusher // nil outside durable mode
 
@@ -396,7 +390,7 @@ func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
 		}
 	}
 	num := uint64(len(batch))
-	p.stats.CombinedOps += num
+	p.met.ObserveBatch(num)
 
 	tail := p.reserveLogEntries(t, rep, num)
 	newTail := tail + num

@@ -94,10 +94,10 @@ func TestBatchingCollectsConcurrentOps(t *testing.T) {
 		}
 	})
 	st := w.p.Stats()
-	if st.Combines == 0 {
+	if st.CombinerAcquisitions == 0 {
 		t.Fatal("no combines recorded")
 	}
-	avg := float64(st.CombinedOps) / float64(st.Combines)
+	avg := float64(st.CombinedOps) / float64(st.CombinerAcquisitions)
 	if avg <= 1.05 {
 		t.Errorf("average batch size %.2f; flat combining is not batching", avg)
 	}
@@ -114,8 +114,8 @@ func TestNoBatchingAblationBatchesExactlyOne(t *testing.T) {
 		}
 	})
 	st := w.p.Stats()
-	if st.CombinedOps != st.Combines {
-		t.Errorf("no-batching: %d ops over %d combines; want 1:1", st.CombinedOps, st.Combines)
+	if st.CombinedOps != st.CombinerAcquisitions {
+		t.Errorf("no-batching: %d ops over %d combines; want 1:1", st.CombinedOps, st.CombinerAcquisitions)
 	}
 }
 

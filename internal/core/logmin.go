@@ -32,14 +32,17 @@ func (p *PREP) reserveLogEntries(t *sim.Thread, rep *replica, num uint64) uint64
 	var b backoff
 	for {
 		tail := p.log.LogTail(t)
-		if p.cfg.Mode.Persistent() {
+		if p.cfg.Mode.Persistent() && p.flushBoundary(t) < tail {
+			// Blocked until the stable persistent replica is up to date with
+			// the boundary; keep our own replica from stalling the system
+			// while we wait. The stall is the price of checkpoint pacing, so
+			// its virtual duration is accumulated for the bench output.
+			start := t.Clock()
 			for p.flushBoundary(t) < tail {
-				// Blocked until the stable persistent replica is up to date
-				// with the boundary; keep our own replica from stalling the
-				// system while we wait.
 				p.serviceUpdateNow(t, rep)
 				b.spin(t, 4096)
 			}
+			p.met.FlushBoundaryStallNS += t.Clock() - start
 			b.reset()
 		}
 		if p.log.CASLogTail(t, tail, tail+num) {
@@ -57,6 +60,7 @@ func (p *PREP) serviceUpdateNow(t *sim.Thread, rep *replica) {
 	if !rep.updateNow(t) {
 		return
 	}
+	p.met.UpdateNowServices++
 	rep.rw.WriteLock(t)
 	p.catchUp(t, rep, p.log.CompletedTail(t))
 	rep.rw.WriteUnlock(t)
@@ -106,7 +110,7 @@ func (p *PREP) updateOrWaitOnLogMin(t *sim.Thread, rep *replica, newTail uint64)
 					}
 					if p.flushBoundary(t) > target {
 						p.setFlushBoundary(t, target)
-						p.stats.BoundaryReductions++
+						p.met.BoundaryReductions++
 					}
 				}
 				b.spin(t, 4096)
@@ -131,7 +135,7 @@ func (p *PREP) updateOrWaitOnLogMin(t *sim.Thread, rep *replica, newTail uint64)
 							p.catchUp(t, straggler, p.log.CompletedTail(t))
 							straggler.rw.WriteUnlock(t)
 							straggler.combiner.Release(t)
-							p.stats.CrossNodeHelps++
+							p.met.CrossNodeHelps++
 						}
 						waited = 0
 					}

@@ -64,7 +64,8 @@ func (p *PREP) PersistenceLoop(t *sim.Thread) {
 // persistCycle checkpoints the active replica and swaps roles (end of an
 // update cycle, §4.1).
 func (p *PREP) persistCycle(t *sim.Thread, f *nvm.Flusher, pr *pReplica) {
-	p.stats.PersistCycles++
+	start := t.Clock()
+	p.met.PersistCycles++
 	if p.cfg.PerLineFlush {
 		// Ablation: flush exactly the dirty lines (needs write tracking a
 		// black-box PUC does not have).
@@ -80,6 +81,7 @@ func (p *PREP) persistCycle(t *sim.Thread, f *nvm.Flusher, pr *pReplica) {
 		p.gctrl.Store(t, gActive, newActive)
 	}
 	p.setFlushBoundary(t, p.flushBoundary(t)+p.cfg.Epsilon)
+	p.met.PersistCycleNS += t.Clock() - start
 }
 
 // StopPersistence asks the persistence thread to exit after its current

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"prepuc/internal/locks"
+	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
 	"prepuc/internal/pmem"
 	"prepuc/internal/sim"
@@ -85,7 +86,13 @@ type CX struct {
 	flush *nvm.Flusher
 }
 
-var _ uc.UC = (*CX)(nil)
+var (
+	_ uc.UC           = (*CX)(nil)
+	_ uc.Instrumented = (*CX)(nil)
+)
+
+// Stats snapshots the machine-wide metrics registry (uc.Instrumented).
+func (c *CX) Stats() metrics.Snapshot { return c.sys.Metrics().Snapshot() }
 
 func (c Config) memName(s string) string { return fmt.Sprintf("cx.g%d.%s", c.Generation, s) }
 

@@ -7,6 +7,7 @@ package gluc
 
 import (
 	"prepuc/internal/locks"
+	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
 	"prepuc/internal/pmem"
 	"prepuc/internal/sim"
@@ -28,6 +29,7 @@ type Config struct {
 
 // GL is the global-lock universal construction.
 type GL struct {
+	sys          *nvm.System
 	heap         *nvm.Memory
 	alloc        *pmem.Allocator
 	ds           uc.DataStructure
@@ -36,7 +38,10 @@ type GL struct {
 	readersShare bool
 }
 
-var _ uc.UC = (*GL)(nil)
+var (
+	_ uc.UC           = (*GL)(nil)
+	_ uc.Instrumented = (*GL)(nil)
+)
 
 // New builds the construction inside sys.
 func New(t *sim.Thread, sys *nvm.System, cfg Config) *GL {
@@ -44,6 +49,7 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) *GL {
 	ctrl := sys.NewMemory("gl.ctrl", nvm.Volatile, cfg.HomeNode, nvm.WordsPerLine)
 	alloc := pmem.New(t, heap)
 	return &GL{
+		sys:          sys,
 		heap:         heap,
 		alloc:        alloc,
 		ds:           cfg.Factory(t, alloc),
@@ -52,6 +58,9 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) *GL {
 		readersShare: cfg.ReadersShare,
 	}
 }
+
+// Stats snapshots the machine-wide metrics registry (uc.Instrumented).
+func (g *GL) Stats() metrics.Snapshot { return g.sys.Metrics().Snapshot() }
 
 // Execute runs one operation under the global lock.
 func (g *GL) Execute(t *sim.Thread, tid int, op uc.Op) uint64 {

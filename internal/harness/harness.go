@@ -11,16 +11,19 @@ import (
 	"io"
 	"sort"
 
+	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
 	"prepuc/internal/sim"
 	"prepuc/internal/uc"
 	"prepuc/internal/workload"
 )
 
-// System is what the harness drives: any universal construction (or
-// hand-crafted structure) exposing ExecuteConcurrent and a direct prefill.
+// System is what the harness drives: any universal construction (uc.UC)
+// that additionally supports a direct prefill before measurement. Every
+// construction in this repository also implements uc.Instrumented, which the
+// harness uses to attach a metrics snapshot to each measured point.
 type System interface {
-	Execute(t *sim.Thread, tid int, op uc.Op) uint64
+	uc.UC
 	Prefill(t *sim.Thread, ops []uc.Op)
 }
 
@@ -43,12 +46,14 @@ type AlgoSpec struct {
 	Build BuildFunc
 }
 
-// Point is one measurement.
+// Point is one measurement. Metrics holds the counter deltas of the
+// measurement phase only (boot and prefill activity is subtracted out).
 type Point struct {
-	Algo      string
-	Threads   int
-	Ops       uint64
-	OpsPerSec float64
+	Algo      string           `json:"algo"`
+	Threads   int              `json:"threads"`
+	Ops       uint64           `json:"ops"`
+	OpsPerSec float64          `json:"ops_per_sec"`
+	Metrics   metrics.Snapshot `json:"metrics"`
 }
 
 // Figure is one reproducible experiment: a workload plus the systems
@@ -63,12 +68,18 @@ type Figure struct {
 }
 
 // RunFigure measures every (algo, thread-count) pair of the figure and
-// returns the points. Progress lines go to w when non-nil.
-func RunFigure(fig Figure, sc Scale, seed int64, w io.Writer) []Point {
+// returns the points. Progress lines go to w when non-nil. A build failure
+// aborts the figure and is returned (with the failing algo and thread count
+// wrapped in) rather than panicking, so callers can exit cleanly.
+func RunFigure(fig Figure, sc Scale, seed int64, w io.Writer) ([]Point, error) {
 	var points []Point
 	for _, algo := range fig.Algos {
 		for _, threads := range sc.Threads {
-			p := runPoint(fig, sc, algo, threads, seed)
+			p, err := runPoint(fig, sc, algo, threads, seed)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s: %s threads=%d: %w",
+					fig.ID, algo.Name, threads, err)
+			}
 			points = append(points, p)
 			if w != nil {
 				fmt.Fprintf(w, "  %-22s threads=%-3d ops=%-10d %12.0f ops/s\n",
@@ -76,11 +87,11 @@ func RunFigure(fig Figure, sc Scale, seed int64, w io.Writer) []Point {
 			}
 		}
 	}
-	return points
+	return points, nil
 }
 
 // runPoint measures one (algo, threads) configuration.
-func runPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64) Point {
+func runPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64) (Point, error) {
 	// Boot phase: build and prefill on a single thread.
 	bootSch := sim.New(seed)
 	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed) + 1})
@@ -95,8 +106,11 @@ func runPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64) Poin
 	})
 	bootSch.Run()
 	if err != nil {
-		panic(fmt.Sprintf("harness: build %s: %v", algo.Name, err))
+		return Point{}, fmt.Errorf("build: %w", err)
 	}
+	// Counter state after boot+prefill; subtracted from the post-measurement
+	// snapshot so the point carries measurement-phase deltas only.
+	base := sys.Metrics().Snapshot()
 
 	// Measurement phase: fresh virtual timeline.
 	sch := sim.New(seed + 7)
@@ -137,7 +151,8 @@ func runPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64) Poin
 		Threads:   threads,
 		Ops:       total,
 		OpsPerSec: float64(total) / (float64(sc.DurationNS) / 1e9),
-	}
+		Metrics:   sys.Metrics().Snapshot().Sub(base),
+	}, nil
 }
 
 // WriteTable renders points as the paper's series: one row per thread

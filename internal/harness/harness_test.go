@@ -33,7 +33,10 @@ func TestRunPointProducesOps(t *testing.T) {
 	figs := Catalog(sc)
 	for _, id := range []string{"fig1a", "fig2a", "fig5a", "fig6a"} {
 		fig := figs[id]
-		points := RunFigure(fig, sc, 1, nil)
+		points, err := RunFigure(fig, sc, 1, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
 		if len(points) != len(fig.Algos)*len(sc.Threads) {
 			t.Fatalf("%s produced %d points, want %d", id, len(points), len(fig.Algos)*len(sc.Threads))
 		}
@@ -51,8 +54,11 @@ func TestRunPointProducesOps(t *testing.T) {
 func TestRunFigureDeterministic(t *testing.T) {
 	sc := TinyScale()
 	fig := Catalog(sc)["fig1a"]
-	a := RunFigure(fig, sc, 42, nil)
-	b := RunFigure(fig, sc, 42, nil)
+	a, errA := RunFigure(fig, sc, 42, nil)
+	b, errB := RunFigure(fig, sc, 42, nil)
+	if errA != nil || errB != nil {
+		t.Fatalf("RunFigure: %v / %v", errA, errB)
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("nondeterministic point %d: %+v vs %+v", i, a[i], b[i])
@@ -63,7 +69,10 @@ func TestRunFigureDeterministic(t *testing.T) {
 func TestWriteTable(t *testing.T) {
 	sc := TinyScale()
 	fig := Catalog(sc)["fig1a"]
-	points := RunFigure(fig, sc, 3, nil)
+	points, err := RunFigure(fig, sc, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	WriteTable(&sb, fig, points)
 	out := sb.String()

@@ -16,11 +16,11 @@ import (
 // experiment: how long (in virtual time) recovery takes after a crash, as a
 // function of the persistence design.
 type RecoveryPoint struct {
-	System     string
-	Param      string // ε for PREP, history length for ONLL
-	UpdatesRun uint64
-	Replayed   uint64
-	VirtualNS  uint64
+	System     string `json:"system"`
+	Param      string `json:"param"` // ε for PREP, history length for ONLL
+	UpdatesRun uint64 `json:"updates_run"`
+	Replayed   uint64 `json:"replayed"`
+	VirtualNS  uint64 `json:"recovery_virtual_ns"`
 }
 
 // RunRecoveryExperiment contrasts checkpoint-based recovery (PREP-Durable:
@@ -28,7 +28,7 @@ type RecoveryPoint struct {
 // recovery (ONLL: replay the entire history). The paper motivates PREP-UC's
 // persistent replicas precisely as the device that keeps the log — and
 // hence recovery — finite (§4.1); this experiment quantifies it.
-func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) []RecoveryPoint {
+func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) ([]RecoveryPoint, error) {
 	var points []RecoveryPoint
 	const workers = 8
 	topoSmall := sc.Topology
@@ -49,7 +49,7 @@ func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) []RecoveryPoint {
 		bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { p, err = core.New(t, sys, cfg) })
 		bootSch.Run()
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("harness: recovery: PREP-Durable e=%d: build: %w", eps, err)
 		}
 		runSch := sim.New(seed + 1)
 		sys.SetScheduler(runSch)
@@ -81,7 +81,7 @@ func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) []RecoveryPoint {
 		})
 		recSch.Run()
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("harness: recovery: PREP-Durable e=%d: recover: %w", eps, err)
 		}
 		pt := RecoveryPoint{
 			System: "PREP-Durable", Param: fmt.Sprintf("e=%d", eps),
@@ -107,7 +107,7 @@ func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) []RecoveryPoint {
 		bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { o, err = onll.New(t, sys, cfg) })
 		bootSch.Run()
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("harness: recovery: ONLL hist=%d: build: %w", hist, err)
 		}
 		runSch := sim.New(seed + 11)
 		sys.SetScheduler(runSch)
@@ -130,7 +130,7 @@ func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) []RecoveryPoint {
 		})
 		recSch.Run()
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("harness: recovery: ONLL hist=%d: recover: %w", hist, err)
 		}
 		pt := RecoveryPoint{
 			System: "ONLL", Param: fmt.Sprintf("hist=%d", hist),
@@ -142,5 +142,5 @@ func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) []RecoveryPoint {
 				pt.System, pt.Param, pt.Replayed, float64(pt.VirtualNS)/1e6)
 		}
 	}
-	return points
+	return points, nil
 }

@@ -6,6 +6,13 @@
 // charged NUMA-aware access costs, contention is visible to the virtual-time
 // scheduler, and state evaporates at a crash exactly like real lock words in
 // volatile cache/DRAM.
+//
+// Every successful acquisition is recorded in the system's metrics registry
+// (metrics.LockAcquisitions); locks constructed once and shared (the
+// combiner TryLock, the RW locks) additionally record hand-offs — a
+// successful acquisition by a different thread than the previous holder,
+// the event that makes a lock line migrate between caches. The hand-off
+// state is host-side and costs no virtual time.
 package locks
 
 import (
@@ -13,15 +20,38 @@ import (
 	"prepuc/internal/sim"
 )
 
+// holder tracks the last thread to successfully acquire a lock, for
+// hand-off accounting. It is shared by every by-value copy of the lock.
+type holder struct{ last int32 }
+
+const noHolder = int32(-1)
+
+// recordAcquire counts one successful exclusive acquisition, and a hand-off
+// when the acquirer differs from the previous holder.
+func (h *holder) recordAcquire(t *sim.Thread, m *nvm.Memory) {
+	met := m.Metrics()
+	met.LockAcquisitions++
+	if h == nil {
+		return
+	}
+	if h.last != noHolder && h.last != int32(t.ID()) {
+		met.LockHandoffs++
+	}
+	h.last = int32(t.ID())
+}
+
 // TryLock is a test-and-set lock with no blocking acquire; node replication
 // uses one per replica as the combiner lock.
 type TryLock struct {
 	m   *nvm.Memory
 	off uint64
+	h   *holder
 }
 
 // NewTryLock wraps the word at off in m (the word must be zero-initialized).
-func NewTryLock(m *nvm.Memory, off uint64) TryLock { return TryLock{m, off} }
+func NewTryLock(m *nvm.Memory, off uint64) TryLock {
+	return TryLock{m, off, &holder{last: noHolder}}
+}
 
 // TryAcquire attempts to take the lock; it never blocks.
 func (l TryLock) TryAcquire(t *sim.Thread) bool {
@@ -29,7 +59,11 @@ func (l TryLock) TryAcquire(t *sim.Thread) bool {
 	if l.m.Load(t, l.off) != 0 {
 		return false
 	}
-	return l.m.CAS(t, l.off, 0, 1)
+	if !l.m.CAS(t, l.off, 0, 1) {
+		return false
+	}
+	l.h.recordAcquire(t, l.m)
+	return true
 }
 
 // Release unlocks. Only the holder may call it.
@@ -43,18 +77,22 @@ func (l TryLock) Held(t *sim.Thread) bool { return l.m.Load(t, l.off) != 0 }
 type RWLock struct {
 	m   *nvm.Memory
 	off uint64
+	h   *holder
 }
 
 const writerBit = uint64(1) << 63
 
 // NewRWLock wraps the word at off in m (the word must be zero-initialized).
-func NewRWLock(m *nvm.Memory, off uint64) RWLock { return RWLock{m, off} }
+func NewRWLock(m *nvm.Memory, off uint64) RWLock {
+	return RWLock{m, off, &holder{last: noHolder}}
+}
 
 // ReadLock blocks (spins in virtual time) until no writer holds the lock.
 func (l RWLock) ReadLock(t *sim.Thread) {
 	for {
 		w := l.m.Load(t, l.off)
 		if w&writerBit == 0 && l.m.CAS(t, l.off, w, w+1) {
+			l.m.Metrics().LockAcquisitions++
 			return
 		}
 		t.Step(spinCost(t))
@@ -77,6 +115,7 @@ func (l RWLock) ReadUnlock(t *sim.Thread) {
 func (l RWLock) WriteLock(t *sim.Thread) {
 	for {
 		if l.m.Load(t, l.off) == 0 && l.m.CAS(t, l.off, 0, writerBit) {
+			l.h.recordAcquire(t, l.m)
 			return
 		}
 		t.Step(spinCost(t))
@@ -89,13 +128,21 @@ func (l RWLock) WriteUnlock(t *sim.Thread) { l.m.Store(t, l.off, 0) }
 // TryWriteLock attempts exclusive acquisition without blocking. CX-PUC's
 // strong try reader–writer lock exposes this.
 func (l RWLock) TryWriteLock(t *sim.Thread) bool {
-	return l.m.Load(t, l.off) == 0 && l.m.CAS(t, l.off, 0, writerBit)
+	if l.m.Load(t, l.off) == 0 && l.m.CAS(t, l.off, 0, writerBit) {
+		l.h.recordAcquire(t, l.m)
+		return true
+	}
+	return false
 }
 
 // TryReadLock attempts shared acquisition without blocking.
 func (l RWLock) TryReadLock(t *sim.Thread) bool {
 	w := l.m.Load(t, l.off)
-	return w&writerBit == 0 && l.m.CAS(t, l.off, w, w+1)
+	if w&writerBit == 0 && l.m.CAS(t, l.off, w, w+1) {
+		l.m.Metrics().LockAcquisitions++
+		return true
+	}
+	return false
 }
 
 // spinCost is the virtual-time price of one failed acquisition loop
@@ -120,6 +167,7 @@ type DistRWLock struct {
 	m     *nvm.Memory
 	off   uint64
 	slots int
+	h     *holder
 }
 
 // DistRWLockWords returns the region size needed for a lock with the given
@@ -131,7 +179,7 @@ func DistRWLockWords(slots int) uint64 {
 // NewDistRWLock wraps the region at off in m (must be zero-initialized and
 // DistRWLockWords(slots) long).
 func NewDistRWLock(m *nvm.Memory, off uint64, slots int) DistRWLock {
-	return DistRWLock{m: m, off: off, slots: slots}
+	return DistRWLock{m: m, off: off, slots: slots, h: &holder{last: noHolder}}
 }
 
 func (l DistRWLock) writerOff() uint64 { return l.off }
@@ -144,6 +192,7 @@ func (l DistRWLock) ReadLock(t *sim.Thread, slot int) {
 	for {
 		l.m.Store(t, l.slotOff(slot), 1)
 		if l.m.Load(t, l.writerOff()) == 0 {
+			l.m.Metrics().LockAcquisitions++
 			return
 		}
 		// A writer is active or arriving: stand down and wait.
@@ -170,6 +219,7 @@ func (l DistRWLock) WriteLock(t *sim.Thread) {
 			t.Step(spinCost(t))
 		}
 	}
+	l.h.recordAcquire(t, l.m)
 }
 
 // WriteUnlock releases the exclusive lock.

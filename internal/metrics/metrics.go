@@ -1,0 +1,155 @@
+// Package metrics is the engine-wide observability layer: a flat set of
+// event counters and virtual-time phase accumulators recorded inline by the
+// instrumented packages (nvm, oplog, locks, core) and exposed as immutable
+// snapshots through uc.Instrumented and the harness bench output.
+//
+// Counters are host-side Go integers, not simulated memory: incrementing one
+// performs no sim.Thread.Step and therefore costs zero *virtual* time, so
+// instrumentation can never perturb a measured figure — Volatile-mode
+// throughput with the counters live is bit-identical to the uninstrumented
+// engine. The simulator's cooperative scheduling (one runnable thread at a
+// time) also means plain increments need no atomics.
+//
+// Phase timers follow the same rule: callers sample sim.Thread.Clock()
+// around a waiting phase and add the delta to an accumulator, measuring
+// virtual time without spending any.
+package metrics
+
+import "reflect"
+
+// BatchHistBuckets is the number of power-of-two batch-size histogram
+// buckets: bucket i counts combined batches of size [2^i, 2^(i+1)) with the
+// last bucket open-ended.
+const BatchHistBuckets = 8
+
+// Counters is every raw, monotonically increasing event counter of one
+// simulated machine. Each field is incremented at its single source of
+// truth; see the package comments of nvm, oplog, locks and core for exactly
+// where. JSON tags define the wire names of the bench output schema.
+type Counters struct {
+	// Simulated-memory traffic (internal/nvm).
+	Loads  uint64 `json:"loads"`
+	Stores uint64 `json:"stores"`
+	CASes  uint64 `json:"cas_ops"`
+
+	// Persistence-instruction traffic (internal/nvm). FlushAsync counts
+	// CLWB/CLFLUSHOPT issues (including the per-line charges of bulk region
+	// flushes), FlushSync counts blocking CLFLUSHes, Fences counts SFENCEs.
+	FlushAsync       uint64 `json:"flush_async"`
+	FlushSync        uint64 `json:"flush_sync"`
+	Fences           uint64 `json:"fences"`
+	WBINVDs          uint64 `json:"wbinvd_count"`
+	WBINVDLines      uint64 `json:"wbinvd_lines"`
+	BGFlushes        uint64 `json:"bg_flushes"`
+	LinesWrittenBack uint64 `json:"lines_written_back"`
+
+	// Coherence-cost events (internal/nvm): how often an access paid an
+	// intra-node cache-to-cache transfer (or sharer invalidation) vs a
+	// cross-socket transfer.
+	CoherenceLocal  uint64 `json:"coherence_local"`
+	CoherenceRemote uint64 `json:"coherence_remote"`
+
+	// Shared operation log (internal/oplog).
+	LogTailCASAttempts uint64 `json:"logtail_cas_attempts"`
+	LogTailCASFailures uint64 `json:"logtail_cas_failures"`
+	LogWraps           uint64 `json:"log_wraps"`
+
+	// Locks (internal/locks). A hand-off is a successful combiner-lock
+	// acquisition by a different thread than the previous holder.
+	LockAcquisitions uint64 `json:"lock_acquisitions"`
+	LockHandoffs     uint64 `json:"lock_handoffs"`
+
+	// Engine (internal/core).
+	Updates              uint64                   `json:"updates"`
+	Reads                uint64                   `json:"reads"`
+	CombinerAcquisitions uint64                   `json:"combiner_acquisitions"`
+	CombinedOps          uint64                   `json:"combined_ops"`
+	BatchHist            [BatchHistBuckets]uint64 `json:"batch_hist"`
+	FlushBoundaryStallNS uint64                   `json:"flush_boundary_stall_ns"`
+	PersistCycles        uint64                   `json:"persist_cycles"`
+	PersistCycleNS       uint64                   `json:"persist_cycle_ns"`
+	BoundaryReductions   uint64                   `json:"boundary_reductions"`
+	CrossNodeHelps       uint64                   `json:"cross_node_helps"`
+	UpdateNowServices    uint64                   `json:"update_now_services"`
+}
+
+// Registry is the live, mutable counter set of one simulated machine
+// (one nvm.System owns exactly one). Instrumented packages increment the
+// embedded Counters fields directly.
+type Registry struct {
+	Counters
+}
+
+// NewRegistry returns a zeroed registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// ObserveBatch records one combined batch of n operations.
+func (r *Registry) ObserveBatch(n uint64) {
+	r.CombinerAcquisitions++
+	r.CombinedOps += n
+	r.BatchHist[batchBucket(n)]++
+}
+
+// batchBucket maps a batch size to its power-of-two histogram bucket.
+func batchBucket(n uint64) int {
+	b := 0
+	for n > 1 && b < BatchHistBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Snapshot is an immutable copy of the counters at one instant plus derived
+// quantities. Snapshots of one registry taken at two instants can be
+// subtracted to isolate a measurement phase. Snapshot is comparable (no
+// slices or maps), so points carrying one still support == in tests.
+type Snapshot struct {
+	Counters
+	// Flushes is FlushAsync + FlushSync: every explicit cache-line
+	// write-back instruction issued.
+	Flushes uint64 `json:"flushes"`
+	// MeanBatchSize is CombinedOps / CombinerAcquisitions (0 when no
+	// batches were combined).
+	MeanBatchSize float64 `json:"mean_batch_size"`
+}
+
+// Snapshot copies the current counters and computes the derived fields.
+func (r *Registry) Snapshot() Snapshot { return finish(r.Counters) }
+
+// Sub returns the counter deltas s − base with derived fields recomputed
+// over the delta. base must be an earlier snapshot of the same registry.
+func (s Snapshot) Sub(base Snapshot) Snapshot {
+	return finish(subCounters(s.Counters, base.Counters))
+}
+
+func finish(c Counters) Snapshot {
+	snap := Snapshot{Counters: c, Flushes: c.FlushAsync + c.FlushSync}
+	if c.CombinerAcquisitions > 0 {
+		snap.MeanBatchSize = float64(c.CombinedOps) / float64(c.CombinerAcquisitions)
+	}
+	return snap
+}
+
+// subCounters subtracts b from a field-wise. Counters is a flat struct of
+// uint64s and uint64 arrays; reflection keeps the subtraction in lockstep
+// with the field list (a new counter can never be forgotten here). This is a
+// cold path — once per measured point — so reflection cost is irrelevant.
+func subCounters(a, b Counters) Counters {
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		fa, fb := va.Field(i), vb.Field(i)
+		switch fa.Kind() {
+		case reflect.Uint64:
+			fa.SetUint(fa.Uint() - fb.Uint())
+		case reflect.Array:
+			for j := 0; j < fa.Len(); j++ {
+				fa.Index(j).SetUint(fa.Index(j).Uint() - fb.Index(j).Uint())
+			}
+		default:
+			panic("metrics: unsupported Counters field kind " + fa.Kind().String())
+		}
+	}
+	return a
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSnapshotDerivedFields(t *testing.T) {
+	r := NewRegistry()
+	r.FlushAsync = 10
+	r.FlushSync = 3
+	r.ObserveBatch(4)
+	r.ObserveBatch(2)
+	s := r.Snapshot()
+	if s.Flushes != 13 {
+		t.Errorf("Flushes = %d, want 13", s.Flushes)
+	}
+	if s.MeanBatchSize != 3.0 {
+		t.Errorf("MeanBatchSize = %f, want 3.0", s.MeanBatchSize)
+	}
+	if s.CombinerAcquisitions != 2 || s.CombinedOps != 6 {
+		t.Errorf("batch counters = (%d, %d), want (2, 6)", s.CombinerAcquisitions, s.CombinedOps)
+	}
+}
+
+func TestBatchBuckets(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{15, 3}, {16, 4}, {128, 7}, {1 << 40, 7},
+	}
+	for _, c := range cases {
+		if got := batchBucket(c.n); got != c.want {
+			t.Errorf("batchBucket(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	r := NewRegistry()
+	r.ObserveBatch(5)
+	if r.BatchHist[2] != 1 {
+		t.Errorf("ObserveBatch(5) landed in %v", r.BatchHist)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	r.Fences = 5
+	r.Loads = 100
+	r.ObserveBatch(3)
+	base := r.Snapshot()
+	r.Fences = 9
+	r.Loads = 250
+	r.ObserveBatch(3)
+	r.ObserveBatch(1)
+	d := r.Snapshot().Sub(base)
+	if d.Fences != 4 || d.Loads != 150 {
+		t.Errorf("delta = fences %d loads %d, want 4, 150", d.Fences, d.Loads)
+	}
+	if d.CombinerAcquisitions != 2 || d.CombinedOps != 4 {
+		t.Errorf("delta batches = (%d, %d), want (2, 4)", d.CombinerAcquisitions, d.CombinedOps)
+	}
+	if d.MeanBatchSize != 2.0 {
+		t.Errorf("delta mean batch = %f, want 2.0", d.MeanBatchSize)
+	}
+	if d.BatchHist[1] != 1 || d.BatchHist[0] != 1 {
+		t.Errorf("delta hist = %v", d.BatchHist)
+	}
+}
+
+// TestSubCoversEveryField guards the reflection-based subtraction: a
+// snapshot minus itself must be identically zero, whatever fields Counters
+// grows.
+func TestSubCoversEveryField(t *testing.T) {
+	r := NewRegistry()
+	r.Loads, r.Stores, r.CASes = 1, 2, 3
+	r.Fences, r.WBINVDs, r.LogWraps = 4, 5, 6
+	r.ObserveBatch(7)
+	s := r.Snapshot()
+	if d := s.Sub(s); d != (Snapshot{}) {
+		t.Errorf("s.Sub(s) = %+v, want zero", d)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Fences = 2
+	r.WBINVDs = 1
+	r.CoherenceLocal = 7
+	r.CoherenceRemote = 9
+	r.FlushAsync = 11
+	r.ObserveBatch(4)
+	s := r.Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire names the bench schema promises must be present.
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"flushes", "fences", "wbinvd_count", "coherence_local",
+		"coherence_remote", "combiner_acquisitions", "mean_batch_size",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("snapshot JSON missing key %q", key)
+		}
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+}

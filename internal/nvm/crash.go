@@ -35,6 +35,11 @@ func (s *System) Recover(sch *sim.Scheduler) *System {
 		mems:     make(map[string]*Memory),
 		bgProb:   s.bgProb,
 		rngState: s.nextRand() | 1,
+		// The metrics registry survives the crash: counters are host-side
+		// observability state, not machine state, and carrying it over lets a
+		// crash harness see recovery-time replay work in the same snapshot
+		// stream as pre-crash execution.
+		met: s.met,
 	}
 	for _, m := range s.order {
 		if m.kind != NVM {

@@ -34,6 +34,7 @@ func (f *Flusher) FlushLine(t *sim.Thread, m *Memory, off uint64) {
 	}
 	t.Step(f.sys.costs.FlushLine)
 	m.stats.FlushAsync++
+	f.sys.met.FlushAsync++
 	p := pendingFlush{m, off / WordsPerLine}
 	if _, dup := f.seen[p]; dup {
 		return
@@ -50,6 +51,7 @@ func (f *Flusher) FlushLineSync(t *sim.Thread, m *Memory, off uint64) {
 	}
 	t.Step(f.sys.costs.FlushSync)
 	m.stats.FlushSync++
+	f.sys.met.FlushSync++
 	m.persistLine(off / WordsPerLine)
 }
 
@@ -59,6 +61,7 @@ func (f *Flusher) Fence(t *sim.Thread) {
 	n := uint64(len(f.pending))
 	t.Step(f.sys.costs.Fence + f.sys.costs.FencePerPending*n)
 	f.sys.fences++
+	f.sys.met.Fences++
 	for _, p := range f.pending {
 		p.m.persistLine(p.line)
 	}

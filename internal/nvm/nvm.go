@@ -29,6 +29,7 @@ package nvm
 import (
 	"fmt"
 
+	"prepuc/internal/metrics"
 	"prepuc/internal/sim"
 )
 
@@ -104,6 +105,10 @@ type System struct {
 	rngState uint64
 	fences   uint64
 	wbinvds  uint64
+	// met is the machine-wide metrics registry; memory, flusher, lock, log
+	// and engine events all record into it. Increments are host-side only
+	// and cost no virtual time (see package metrics).
+	met *metrics.Registry
 }
 
 // Config parameterizes a System.
@@ -128,6 +133,7 @@ func NewSystem(sch *sim.Scheduler, cfg Config) *System {
 		mems:     make(map[string]*Memory),
 		bgProb:   cfg.BGFlushOneIn,
 		rngState: seed,
+		met:      metrics.NewRegistry(),
 	}
 }
 
@@ -141,6 +147,9 @@ func (s *System) SetScheduler(sch *sim.Scheduler) { s.sch = sch }
 
 // Costs returns the latency model.
 func (s *System) Costs() sim.Costs { return s.costs }
+
+// Metrics returns the machine-wide metrics registry.
+func (s *System) Metrics() *metrics.Registry { return s.met }
 
 // Fences returns the number of fences executed system-wide.
 func (s *System) Fences() uint64 { return s.fences }
@@ -215,12 +224,18 @@ func (m *Memory) Words() uint64 { return uint64(len(m.data)) }
 // Stats returns a copy of the region's event counters.
 func (m *Memory) Stats() Stats { return m.stats }
 
+// Metrics returns the owning system's metrics registry; packages that only
+// hold a Memory (oplog, locks) record their events through it.
+func (m *Memory) Metrics() *metrics.Registry { return m.sys.met }
+
 // transferCost prices acquiring a line currently owned by another thread:
 // an intra-node cache-to-cache transfer or a cross-socket one.
 func (m *Memory) transferCost(t *sim.Thread, line uint64) uint64 {
 	if int(m.ownerNode[line]) == t.Node() {
+		m.sys.met.CoherenceLocal++
 		return m.sys.costs.CoherenceLocal
 	}
+	m.sys.met.CoherenceRemote++
 	return m.sys.costs.CoherenceRemote
 }
 
@@ -251,6 +266,7 @@ func (m *Memory) storeCost(t *sim.Thread, line uint64) uint64 {
 		// already exclusive
 	case own == ownerShared:
 		cost += m.sys.costs.CoherenceLocal // invalidate sharers
+		m.sys.met.CoherenceLocal++
 	default:
 		cost += m.transferCost(t, line)
 	}
@@ -263,6 +279,7 @@ func (m *Memory) storeCost(t *sim.Thread, line uint64) uint64 {
 func (m *Memory) Load(t *sim.Thread, off uint64) uint64 {
 	t.Step(m.loadCost(t, off/WordsPerLine))
 	m.stats.Loads++
+	m.sys.met.Loads++
 	return m.data[off]
 }
 
@@ -272,12 +289,14 @@ func (m *Memory) Store(t *sim.Thread, off uint64, v uint64) {
 	line := off / WordsPerLine
 	t.Step(m.storeCost(t, line))
 	m.stats.Stores++
+	m.sys.met.Stores++
 	m.data[off] = v
 	if m.kind == NVM {
 		m.dirty[line] = true
 		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
 			m.persistLine(line)
 			m.stats.BGFlushes++
+			m.sys.met.BGFlushes++
 		}
 	}
 }
@@ -288,6 +307,7 @@ func (m *Memory) CAS(t *sim.Thread, off, old, new uint64) bool {
 	line := off / WordsPerLine
 	t.Step(m.storeCost(t, line))
 	m.stats.CASes++
+	m.sys.met.CASes++
 	if m.data[off] != old {
 		return false
 	}
@@ -297,6 +317,7 @@ func (m *Memory) CAS(t *sim.Thread, off, old, new uint64) bool {
 		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
 			m.persistLine(line)
 			m.stats.BGFlushes++
+			m.sys.met.BGFlushes++
 		}
 	}
 	return true
@@ -320,6 +341,7 @@ func (m *Memory) persistLine(line uint64) {
 	copy(m.persisted[base:base+WordsPerLine], m.data[base:base+WordsPerLine])
 	m.dirty[line] = false
 	m.stats.LinesWrittenBack++
+	m.sys.met.LinesWrittenBack++
 }
 
 // PersistedLoad reads the persisted view directly. Only recovery code and
@@ -357,6 +379,7 @@ func (m *Memory) FlushRegion(t *sim.Thread, from, to uint64) {
 	if from >= to {
 		t.Step(m.sys.costs.Fence)
 		m.sys.fences++
+		m.sys.met.Fences++
 		return
 	}
 	first := from / WordsPerLine
@@ -364,10 +387,12 @@ func (m *Memory) FlushRegion(t *sim.Thread, from, to uint64) {
 	lines := last - first + 1
 	t.Step(m.sys.costs.FlushLine*lines + m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
 	m.sys.fences++
+	m.sys.met.Fences++
 	for line := first; line <= last; line++ {
 		m.persistLine(line)
 	}
 	m.stats.FlushAsync += lines
+	m.sys.met.FlushAsync += lines
 }
 
 // FlushAllDirty write-backs every currently dirty line and fences, as one
@@ -381,12 +406,14 @@ func (m *Memory) FlushAllDirty(t *sim.Thread) {
 	lines := m.DirtyLines()
 	t.Step(m.sys.costs.FlushLine*lines + m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
 	m.sys.fences++
+	m.sys.met.Fences++
 	for line := range m.dirty {
 		if m.dirty[line] {
 			m.persistLine(uint64(line))
 		}
 	}
 	m.stats.FlushAsync += lines
+	m.sys.met.FlushAsync += lines
 }
 
 // WBINVD writes back every dirty line of the given memories, modelling the
@@ -406,11 +433,13 @@ func (s *System) WBINVD(t *sim.Thread, mems ...*Memory) {
 	}
 	t.Step(s.costs.WBINVDBase + s.costs.WBINVDPerLine*lines)
 	s.wbinvds++
+	s.met.WBINVDs++
 	for _, m := range mems {
 		for line := range m.dirty {
 			if m.dirty[line] {
 				m.persistLine(uint64(line))
 				m.stats.WBINVDLinesWrittenBack++
+				s.met.WBINVDLines++
 			}
 		}
 	}

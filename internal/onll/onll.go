@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"prepuc/internal/locks"
+	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
 	"prepuc/internal/pmem"
 	"prepuc/internal/sim"
@@ -87,7 +88,13 @@ type ONLL struct {
 	entrySize uint64
 }
 
-var _ uc.UC = (*ONLL)(nil)
+var (
+	_ uc.UC           = (*ONLL)(nil)
+	_ uc.Instrumented = (*ONLL)(nil)
+)
+
+// Stats snapshots the machine-wide metrics registry (uc.Instrumented).
+func (o *ONLL) Stats() metrics.Snapshot { return o.sys.Metrics().Snapshot() }
 
 func (c Config) memName(s string) string { return fmt.Sprintf("onll.g%d.%s", c.Generation, s) }
 

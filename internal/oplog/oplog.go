@@ -20,6 +20,7 @@
 package oplog
 
 import (
+	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
 	"prepuc/internal/sim"
 )
@@ -51,6 +52,7 @@ func WordsFor(entries uint64) uint64 { return entryBase + entries*EntryWords }
 type Log struct {
 	mem  *nvm.Memory
 	size uint64 // entries
+	met  *metrics.Registry
 }
 
 // New formats a log with size entries in mem. The region must be at least
@@ -59,7 +61,7 @@ func New(t *sim.Thread, mem *nvm.Memory, size uint64) *Log {
 	if mem.Words() < WordsFor(size) {
 		panic("oplog: memory too small for log")
 	}
-	l := &Log{mem: mem, size: size}
+	l := &Log{mem: mem, size: size, met: mem.Metrics()}
 	mem.Store(t, offCompletedTail, 0)
 	mem.Store(t, offLogTail, 0)
 	mem.Store(t, offLogMin, size-1)
@@ -67,7 +69,9 @@ func New(t *sim.Thread, mem *nvm.Memory, size uint64) *Log {
 }
 
 // Attach re-opens an existing log (durable recovery).
-func Attach(mem *nvm.Memory, size uint64) *Log { return &Log{mem: mem, size: size} }
+func Attach(mem *nvm.Memory, size uint64) *Log {
+	return &Log{mem: mem, size: size, met: mem.Metrics()}
+}
 
 // Mem exposes the backing memory (for flush protocols owned by the UC).
 func (l *Log) Mem() *nvm.Memory { return l.mem }
@@ -114,8 +118,20 @@ func (l *Log) ReadEntry(t *sim.Thread, idx uint64) (code, a0, a1 uint64) {
 func (l *Log) LogTail(t *sim.Thread) uint64 { return l.mem.Load(t, offLogTail) }
 
 // CASLogTail reserves entries [old, new) if no other combiner won the race.
+// Attempts, failures and buffer wrap-arounds are recorded: logTail CAS
+// failure rate is the direct measure of combiner contention on the shared
+// log, and wraps mark where entry reuse (and its reservation gating) kicks
+// in.
 func (l *Log) CASLogTail(t *sim.Thread, old, new uint64) bool {
-	return l.mem.CAS(t, offLogTail, old, new)
+	l.met.LogTailCASAttempts++
+	if !l.mem.CAS(t, offLogTail, old, new) {
+		l.met.LogTailCASFailures++
+		return false
+	}
+	if old/l.size != new/l.size {
+		l.met.LogWraps++
+	}
+	return true
 }
 
 // completedTail is stored tagged: value<<1 | dirty. The dirty bit supports

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"prepuc/internal/locks"
+	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
 	"prepuc/internal/pmem"
 	"prepuc/internal/sim"
@@ -75,7 +76,13 @@ type Soft struct {
 	flushers             []*nvm.Flusher
 }
 
-var _ uc.UC = (*Soft)(nil)
+var (
+	_ uc.UC           = (*Soft)(nil)
+	_ uc.Instrumented = (*Soft)(nil)
+)
+
+// Stats snapshots the machine-wide metrics registry (uc.Instrumented).
+func (s *Soft) Stats() metrics.Snapshot { return s.sys.Metrics().Snapshot() }
 
 func (c Config) memName(s string) string { return fmt.Sprintf("soft.g%d.%s", c.Generation, s) }
 

@@ -11,6 +11,7 @@
 package uc
 
 import (
+	"prepuc/internal/metrics"
 	"prepuc/internal/pmem"
 	"prepuc/internal/sim"
 )
@@ -70,6 +71,18 @@ func OpName(code uint64) string {
 	}
 }
 
+// OpCode is the inverse of OpName: it resolves a human-readable operation
+// name (as used in workload specs and bench output) back to its code,
+// returning 0 for names OpName never produces.
+func OpCode(name string) uint64 {
+	for code := OpGet; code <= OpMin; code++ {
+		if OpName(code) == name {
+			return code
+		}
+	}
+	return 0
+}
+
 // Op is one encoded operation.
 type Op struct {
 	Code, A0, A1 uint64
@@ -106,6 +119,13 @@ type UC interface {
 	// Execute performs op on behalf of worker tid (the paper's
 	// ExecuteConcurrent). It returns the operation's result.
 	Execute(t *sim.Thread, tid int, op Op) uint64
+}
+
+// Instrumented is implemented by constructions that expose the machine-wide
+// metrics registry. Stats snapshots cumulative counters since boot; callers
+// isolating a phase subtract two snapshots (metrics.Snapshot.Sub).
+type Instrumented interface {
+	Stats() metrics.Snapshot
 }
 
 // Clone replays src's state into dst via Dump/Execute. Both sides are
