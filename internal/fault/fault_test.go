@@ -1,0 +1,118 @@
+package fault
+
+import "testing"
+
+func decisions(p Policy, pending int) []bool {
+	p.BeginCrash(pending)
+	out := make([]bool, pending)
+	for i := range out {
+		out[i] = p.PersistPending(i)
+	}
+	return out
+}
+
+func TestExtremePolicies(t *testing.T) {
+	for _, ok := range decisions(DropAll(), 9) {
+		if ok {
+			t.Fatal("DropAll persisted a line")
+		}
+	}
+	for _, ok := range decisions(PersistAll(), 9) {
+		if !ok {
+			t.Fatal("PersistAll dropped a line")
+		}
+	}
+}
+
+func TestCoinFlipDeterministicAndBiased(t *testing.T) {
+	a := CoinFlip(0.5, 42)
+	b := CoinFlip(0.5, 42)
+	const n = 4096
+	da, db := decisions(a, n), decisions(b, n)
+	persisted := 0
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("same seed, different decisions")
+		}
+		if da[i] {
+			persisted++
+		}
+	}
+	if persisted < n/3 || persisted > 2*n/3 {
+		t.Errorf("fair coin persisted %d of %d", persisted, n)
+	}
+	for i, ok := range decisions(CoinFlip(0, 7), 64) {
+		if ok {
+			t.Errorf("p=0 persisted line %d", i)
+		}
+	}
+	for i, ok := range decisions(CoinFlip(1, 7), 64) {
+		if !ok {
+			t.Errorf("p=1 dropped line %d", i)
+		}
+	}
+}
+
+func TestTargetedSweepsDropIndex(t *testing.T) {
+	p := Targeted(0)
+	const n = 5
+	for crash := 0; crash < 2*n; crash++ {
+		d := decisions(p, n)
+		dropped := -1
+		for i, ok := range d {
+			if !ok {
+				if dropped >= 0 {
+					t.Fatalf("crash %d dropped more than one line", crash)
+				}
+				dropped = i
+			}
+		}
+		if dropped != crash%n {
+			t.Errorf("crash %d dropped index %d, want %d", crash, dropped, crash%n)
+		}
+	}
+	// Zero pending lines must not panic and must still advance the sweep.
+	p.BeginCrash(0)
+	if got := decisions(p, 3); !got[0] || !got[1] {
+		t.Error("post-empty crash decisions wrong")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"dropall", "dropall"},
+		{"persistall", "persistall"},
+		{"coinflip", "coinflip=0.5"},
+		{"coinflip=0.25", "coinflip=0.25"},
+		{"targeted", "targeted"},
+		{"targeted=3", "targeted"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.spec, 1)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if p.Name() != tc.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", tc.spec, p.Name(), tc.name)
+		}
+	}
+	if p, err := Parse("", 1); p != nil || err != nil {
+		t.Errorf("Parse(\"\") = %v, %v; want nil, nil", p, err)
+	}
+	for _, bad := range []string{"nope", "coinflip=2", "coinflip=x", "targeted=-1"} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// targeted=3 must start its sweep at index 3.
+	p, _ := Parse("targeted=3", 1)
+	for i, ok := range decisions(p, 5) {
+		if ok == (i == 3) {
+			t.Errorf("targeted=3 first crash: index %d persisted=%v", i, ok)
+		}
+	}
+}

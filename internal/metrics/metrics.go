@@ -49,6 +49,21 @@ type Counters struct {
 	CoherenceLocal  uint64 `json:"coherence_local"`
 	CoherenceRemote uint64 `json:"coherence_remote"`
 
+	// Crash-time fault injection (internal/nvm, internal/fault): the fate of
+	// flushed-but-unfenced lines at each crash materialization, cumulative
+	// across the machine's crash lineage (the registry survives Recover).
+	CrashLinesPersisted uint64 `json:"crash_lines_persisted"`
+	CrashLinesDropped   uint64 `json:"crash_lines_dropped"`
+
+	// Recovery (internal/core and the other constructions' Recover paths).
+	// RecoveryRestarts counts partially built generations a re-entrant
+	// recovery had to skip over (one per crash that hit a recovery run);
+	// ReplayHoles counts not-fully-persisted log entries skipped below a
+	// persisted completedTail — always zero unless the flush protocol is
+	// violated.
+	RecoveryRestarts uint64 `json:"recovery_restarts"`
+	ReplayHoles      uint64 `json:"replay_holes"`
+
 	// Shared operation log (internal/oplog).
 	LogTailCASAttempts uint64 `json:"logtail_cas_attempts"`
 	LogTailCASFailures uint64 `json:"logtail_cas_failures"`

@@ -13,21 +13,49 @@ func (s *System) Crash() { s.sch.CrashNow() }
 // media. Volatile memories are gone; recovery code recreates them.
 //
 // Materialization applies the hardware's undefined behaviours:
-//   - every line issued via FlushLine but not yet fenced is persisted with
+//   - every line issued via FlushLine but not yet fenced is persisted
+//     according to the installed fault.Policy — or, with no policy, with
 //     probability 1/2 (independent coin flips, seeded);
 //   - every merely-dirty line is lost (its last persisted value remains).
+//
+// The per-line outcomes are tallied in the metrics registry
+// (crash_lines_persisted / crash_lines_dropped), and the policy is carried
+// into the recovered system so an iterating adversary (fault.Targeted) keeps
+// its sweep state across nested crashes.
 //
 // Recover must only be called after the crashed scheduler has fully drained
 // (sim.Scheduler.Run returned).
 func (s *System) Recover(sch *sim.Scheduler) *System {
-	// Coin-flip unfenced asynchronous flushes.
-	for _, f := range s.flushers {
-		for _, p := range f.pending {
-			if s.nextRand()&1 == 0 {
+	// Materialize unfenced asynchronous flushes. Pending lines are visited
+	// in flusher-creation then issue order, which is deterministic, so a
+	// policy's per-index decisions reproduce from the run's seed.
+	if s.policy == nil {
+		for _, f := range s.flushers {
+			for _, p := range f.pending {
+				if s.nextRand()&1 == 0 {
+					p.m.persistLine(p.line)
+					s.met.CrashLinesPersisted++
+				} else {
+					s.met.CrashLinesDropped++
+				}
+			}
+			f.pending = nil
+		}
+	} else {
+		var pending []pendingFlush
+		for _, f := range s.flushers {
+			pending = append(pending, f.pending...)
+			f.pending = nil
+		}
+		s.policy.BeginCrash(len(pending))
+		for i, p := range pending {
+			if s.policy.PersistPending(i) {
 				p.m.persistLine(p.line)
+				s.met.CrashLinesPersisted++
+			} else {
+				s.met.CrashLinesDropped++
 			}
 		}
-		f.pending = nil
 	}
 	ns := &System{
 		sch:      sch,
@@ -35,6 +63,7 @@ func (s *System) Recover(sch *sim.Scheduler) *System {
 		mems:     make(map[string]*Memory),
 		bgProb:   s.bgProb,
 		rngState: s.nextRand() | 1,
+		policy:   s.policy,
 		// The metrics registry survives the crash: counters are host-side
 		// observability state, not machine state, and carrying it over lets a
 		// crash harness see recovery-time replay work in the same snapshot
@@ -64,6 +93,56 @@ func (s *System) Recover(sch *sim.Scheduler) *System {
 		copy(nm.persisted, m.persisted)
 		ns.mems[nm.name] = nm
 		ns.order = append(ns.order, nm)
+	}
+	return ns
+}
+
+// Clone deep-copies the machine — every memory's current and persisted
+// views, pending flush sets, RNG states and a private copy of the metrics
+// registry — attached to the given scheduler. Crash-sweep harnesses use it
+// to materialize the same frozen machine many times, arming a different
+// crash point inside recovery on each copy, without re-running the workload
+// that produced the state.
+func (s *System) Clone(sch *sim.Scheduler) *System {
+	met := *s.met
+	ns := &System{
+		sch:      sch,
+		costs:    s.costs,
+		mems:     make(map[string]*Memory),
+		bgProb:   s.bgProb,
+		rngState: s.rngState,
+		fences:   s.fences,
+		wbinvds:  s.wbinvds,
+		policy:   s.policy,
+		met:      &met,
+	}
+	for _, m := range s.order {
+		nm := &Memory{
+			name:      m.name,
+			kind:      m.kind,
+			home:      m.home,
+			sys:       ns,
+			data:      append([]uint64(nil), m.data...),
+			owner:     append([]int32(nil), m.owner...),
+			ownerNode: append([]int32(nil), m.ownerNode...),
+			bgState:   m.bgState,
+			stats:     m.stats,
+		}
+		if m.kind == NVM {
+			nm.persisted = append([]uint64(nil), m.persisted...)
+			nm.dirty = append([]bool(nil), m.dirty...)
+		}
+		ns.mems[nm.name] = nm
+		ns.order = append(ns.order, nm)
+	}
+	for _, f := range s.flushers {
+		nf := &Flusher{sys: ns, seen: make(map[pendingFlush]struct{})}
+		for _, p := range f.pending {
+			np := pendingFlush{ns.mems[p.m.name], p.line}
+			nf.pending = append(nf.pending, np)
+			nf.seen[np] = struct{}{}
+		}
+		ns.flushers = append(ns.flushers, nf)
 	}
 	return ns
 }

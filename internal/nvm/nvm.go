@@ -29,6 +29,7 @@ package nvm
 import (
 	"fmt"
 
+	"prepuc/internal/fault"
 	"prepuc/internal/metrics"
 	"prepuc/internal/sim"
 )
@@ -105,6 +106,9 @@ type System struct {
 	rngState uint64
 	fences   uint64
 	wbinvds  uint64
+	// policy decides the fate of flushed-but-unfenced lines at a crash; nil
+	// selects the built-in fair coin (see Recover).
+	policy fault.Policy
 	// met is the machine-wide metrics registry; memory, flusher, lock, log
 	// and engine events all record into it. Increments are host-side only
 	// and cost no virtual time (see package metrics).
@@ -119,6 +123,9 @@ type Config struct {
 	BGFlushOneIn uint64
 	// Seed drives crash-time persistence coin flips and background flushes.
 	Seed uint64
+	// Policy overrides the crash-time materialization of pending (flushed
+	// but unfenced) lines. Nil keeps the substrate's default fair coin.
+	Policy fault.Policy
 }
 
 // NewSystem creates a machine attached to the given scheduler.
@@ -133,9 +140,24 @@ func NewSystem(sch *sim.Scheduler, cfg Config) *System {
 		mems:     make(map[string]*Memory),
 		bgProb:   cfg.BGFlushOneIn,
 		rngState: seed,
+		policy:   cfg.Policy,
 		met:      metrics.NewRegistry(),
 	}
 }
+
+// SetFaultPolicy replaces the crash-time persistence adversary. A nil policy
+// restores the default fair coin. The policy applies to this system's next
+// Recover and is carried into the recovered system.
+func (s *System) SetFaultPolicy(p fault.Policy) { s.policy = p }
+
+// FaultPolicy returns the installed crash-time adversary (nil = fair coin).
+func (s *System) FaultPolicy() fault.Policy { return s.policy }
+
+// SetBGFlushOneIn overrides the background write-back rate (one store in n
+// leaks its line to the persisted view; 0 disables). Crash harnesses raise
+// the rate for a recovery phase to stress write-back hazards that the
+// workload's rate would hit only rarely.
+func (s *System) SetBGFlushOneIn(n uint64) { s.bgProb = n }
 
 // Scheduler returns the sim scheduler this system runs on.
 func (s *System) Scheduler() *sim.Scheduler { return s.sch }

@@ -112,11 +112,26 @@ func (s *Scheduler) Events() uint64 {
 }
 
 // CrashAtEvent arranges for the system to freeze at the given global event
-// index (1-based). It must be set before Run. A value of 0 disables crashing.
+// index (1-based). It may be set at any time before the event fires. A value
+// of 0 disables crashing.
 func (s *Scheduler) CrashAtEvent(n uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.crashAt = n
+}
+
+// CrashAfter arms a crash n events from now. Harnesses use it to place a
+// crash inside a phase whose absolute event index is unknown in advance —
+// most importantly inside a recovery run, exercising crash-during-recovery
+// schedules. n must be at least 1; 0 disables crashing.
+func (s *Scheduler) CrashAfter(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == 0 {
+		s.crashAt = 0
+		return
+	}
+	s.crashAt = s.events + n
 }
 
 // Frozen reports whether the system has crashed.

@@ -305,3 +305,53 @@ func TestManyThreadsStress(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashAfterRelative(t *testing.T) {
+	// CrashAfter arms relative to the current event count: armed mid-run
+	// after 10 events, the 15th Step must be the one that freezes.
+	s := New(1)
+	steps := 0
+	s.Spawn("w", 0, 0, func(th *Thread) {
+		defer func() {
+			if r := recover(); r != nil && !Crashed(r) {
+				panic(r)
+			}
+		}()
+		for i := 0; i < 100; i++ {
+			if i == 10 {
+				s.CrashAfter(5)
+			}
+			th.Step(1)
+			steps++
+		}
+	})
+	s.Run()
+	if !s.Frozen() {
+		t.Fatal("scheduler not frozen")
+	}
+	if steps != 14 {
+		t.Fatalf("completed %d steps before the crash, want 14 (crash on the 15th)", steps)
+	}
+}
+
+func TestCrashAfterZeroDisarms(t *testing.T) {
+	s := New(1)
+	s.CrashAtEvent(5)
+	done := false
+	s.Spawn("w", 0, 0, func(th *Thread) {
+		defer func() {
+			if r := recover(); r != nil && !Crashed(r) {
+				panic(r)
+			}
+		}()
+		s.CrashAfter(0) // disarm before the crash fires
+		for i := 0; i < 20; i++ {
+			th.Step(1)
+		}
+		done = true
+	})
+	s.Run()
+	if s.Frozen() || !done {
+		t.Fatal("CrashAfter(0) did not disarm the pending crash")
+	}
+}
