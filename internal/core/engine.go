@@ -51,6 +51,13 @@ const (
 // Persistent metadata memory layout (NVM).
 const metaActive = 0 // p_activePReplica
 
+// commitMemName is the generation-commit record (uc.CommitCell): one NVM
+// line, shared by every generation (the name carries no g%d prefix).
+// Recovery starts from the committed generation and flips the record only
+// after the rebuilt generation's checkpoint, which is what makes Recover
+// re-entrant: killed at any event and re-run, it reads the same source state.
+const commitMemName = "prep.commit"
+
 // The heap root slot where each persistent replica stores its localTail
 // (slot 0 is the sequential object's own root).
 const pTailRootSlot = 1
@@ -96,11 +103,12 @@ type PREP struct {
 	log   *oplog.Log
 	beta  uint64
 	nodes int
-	reps  []*replica
-	preps []*pReplica
-	meta  *nvm.Memory
-	gctrl *nvm.Memory
-	met   *metrics.Registry
+	reps   []*replica
+	preps  []*pReplica
+	meta   *nvm.Memory
+	commit uc.CommitCell // generation-commit record; zero in Volatile mode
+	gctrl  *nvm.Memory
+	met    *metrics.Registry
 }
 
 var (
@@ -111,9 +119,24 @@ var (
 func (c Config) memName(s string) string { return fmt.Sprintf("g%d.%s", c.Generation, s) }
 
 // New builds a PREP-UC instance inside sys. In persistent modes it also
-// writes the initial checkpoint (empty persistent replicas plus metadata) so
-// a crash before the first persistence cycle recovers an empty object.
+// writes the initial checkpoint (empty persistent replicas plus metadata)
+// and commits the generation, so a crash before the first persistence cycle
+// recovers an empty object.
 func New(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
+	p, err := newEngine(t, sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mode.Persistent() {
+		p.commitGeneration(t)
+	}
+	return p, nil
+}
+
+// newEngine builds the engine without committing its generation. Recover
+// uses it directly: the new generation must not become the recovery source
+// until its replicas hold the recovered state and are checkpointed.
+func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -172,9 +195,27 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
 		}
 		p.meta.Store(t, metaActive, 0)
 		p.gctrl.Store(t, gActive, 0)
+		// The commit record spans generations, so only the first engine in a
+		// machine's lineage creates it; recovered generations attach.
+		p.commit = uc.EnsureCommitCell(sys, commitMemName, pn)
 		p.checkpoint(t)
 	}
 	return p, nil
+}
+
+// commitGeneration durably marks this engine's generation as the one
+// recovery must start from. Callers run it only after the generation's
+// persistent replicas hold their intended initial state and are
+// checkpointed.
+func (p *PREP) commitGeneration(t *sim.Thread) {
+	p.commit.Commit(t, p.cfg.Generation)
+}
+
+// committedGeneration reads the persisted commit record, returning fallback
+// when the record is absent (a machine booted by a pre-commit-record build)
+// or unwritten.
+func committedGeneration(recSys *nvm.System, fallback int) int {
+	return uc.CommittedGeneration(recSys, commitMemName, fallback)
 }
 
 // checkpoint persists every persistent replica and the metadata word.
@@ -210,6 +251,16 @@ func (p *PREP) Prefill(t *sim.Thread, ops []uc.Op) {
 
 // Config returns the configuration the engine was built with.
 func (p *PREP) Config() Config { return p.cfg }
+
+// DumpState returns replica 0's state as the flat (code, a0, a1) triples its
+// Dump emits. Tests compare dumps across recovery attempts for idempotence.
+func (p *PREP) DumpState(t *sim.Thread) []uint64 {
+	var out []uint64
+	p.reps[0].ds.Dump(t, func(code, a0, a1 uint64) {
+		out = append(out, code, a0, a1)
+	})
+	return out
+}
 
 // Log exposes the shared log (tests and the harness use it).
 func (p *PREP) Log() *oplog.Log { return p.log }

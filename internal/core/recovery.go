@@ -12,6 +12,17 @@ import (
 
 // RecoveryReport describes what recovery found and rebuilt.
 type RecoveryReport struct {
+	// SourceGeneration is the generation recovery read its state from: the
+	// last committed generation, which trails oldCfg.Generation while earlier
+	// recovery attempts keep crashing and leads it once one succeeds (callers
+	// may keep passing the boot configuration).
+	SourceGeneration int
+	// Generation is the rebuilt engine's generation.
+	Generation int
+	// Restarts is the number of abandoned, partially built generations this
+	// recovery skipped over — one per crash that hit an earlier recovery
+	// attempt since the last committed generation.
+	Restarts uint64
 	// StableReplica is the persistent replica recovery started from.
 	StableReplica int
 	// StableLocalTail is the log index the stable replica was persisted at.
@@ -28,68 +39,105 @@ type RecoveryReport struct {
 
 // Recover rebuilds a PREP-UC instance from the NVM contents that survived a
 // crash (§5.1, §5.2). recSys must come from nvm.System.Recover, and oldCfg
-// must be the configuration of the crashed instance. The rebuilt engine uses
-// generation oldCfg.Generation+1 for its memory names; the crashed
-// generation's NVM regions are read but never written (except the stable
-// replica's heap during durable log replay, mirroring the paper's "bring the
-// active persistent replica up-to-date" step).
+// must be the configuration of the crashed lineage (any generation of it:
+// the persisted generation-commit record, not oldCfg.Generation, selects the
+// state recovery reads). The rebuilt engine takes the first generation whose
+// memory names are unused; the source generation's NVM regions are read but
+// never written. In particular, durable log replay executes into the NEW
+// generation's first persistent replica, never into the source generation's
+// stable heap: the stable heap is the only consistent copy in existence, and
+// mutating it would make a crash during recovery unrecoverable (background
+// write-backs leak the partially replayed heap into its persisted view,
+// corrupting the state the next recovery attempt starts from).
+//
+// Recover is re-entrant: killed at any event and re-run against the
+// re-crashed machine, it reads the same committed source state, because the
+// commit record flips to the new generation only after that generation's
+// replicas are checkpointed (the final step below).
 //
 // Buffered mode recovers exactly the stable persistent replica's state: all
 // replicas are instantiated as copies of it, every index is reset, and the
-// (volatile, hence lost) log starts empty. Durable mode first replays the
-// persisted log entries in [stable.localTail, completedTail) on top of the
-// stable state, so every completed operation is recovered.
+// (volatile, hence lost) log starts empty. Durable mode clones the stable
+// state and then replays the persisted log entries in
+// [stable.localTail, completedTail) on top of the clone, so every completed
+// operation is recovered.
 func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*PREP, *RecoveryReport, error) {
 	if !oldCfg.Mode.Persistent() {
 		return nil, nil, fmt.Errorf("core: cannot recover a volatile instance")
 	}
+	met := recSys.Metrics()
 	rep := &RecoveryReport{}
 
+	srcCfg := oldCfg
+	srcCfg.Generation = committedGeneration(recSys, oldCfg.Generation)
+	rep.SourceGeneration = srcCfg.Generation
+
 	// Identify the stable persistent replica via p_activePReplica.
-	meta := recSys.Memory(oldCfg.memName("meta"))
+	meta := recSys.Memory(srcCfg.memName("meta"))
 	active := meta.Load(t, metaActive)
 	stable := 1 - active
-	if oldCfg.SinglePReplica {
+	if srcCfg.SinglePReplica {
 		stable = 0
 	}
 	rep.StableReplica = int(stable)
 
-	sheap := recSys.Memory(oldCfg.memName(fmt.Sprintf("pheap%d", stable)))
+	sheap := recSys.Memory(srcCfg.memName(fmt.Sprintf("pheap%d", stable)))
 	salloc := pmem.Attach(t, sheap)
-	sds := oldCfg.Attacher(t, salloc)
+	sds := srcCfg.Attacher(t, salloc)
 	rep.StableLocalTail = salloc.Root(t, pTailRootSlot)
 
-	if oldCfg.Mode == Durable {
-		logMem := recSys.Memory(oldCfg.memName("log"))
-		l := oplog.Attach(logMem, oldCfg.LogSize)
+	// Build a fresh engine in the first free generation: recovery attempts
+	// that crashed mid-build left their partially constructed NVM regions
+	// behind under the generations between the committed one and here.
+	ncfg := srcCfg
+	ncfg.Generation++
+	for recSys.HasMemory(ncfg.memName("meta")) ||
+		recSys.HasMemory(ncfg.memName("log")) ||
+		recSys.HasMemory(ncfg.memName("pheap0")) {
+		ncfg.Generation++
+		rep.Restarts++
+		met.RecoveryRestarts++
+	}
+	rep.Generation = ncfg.Generation
+	// The source generation is only read from here on: its stable heap seeds
+	// the new generation's first persistent replica, durable replay runs on
+	// that copy, and every other replica is cloned from the result. The new
+	// generation stays uncommitted until its state is checkpointed.
+	p, err := newEngine(t, recSys, ncfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rds := p.preps[0].ds
+	uc.Clone(t, sds, rds)
+
+	if srcCfg.Mode == Durable {
+		logMem := recSys.Memory(srcCfg.memName("log"))
+		l := oplog.Attach(logMem, srcCfg.LogSize)
 		rep.CompletedTail = l.PersistedCompletedTail()
 		for idx := rep.StableLocalTail; idx < rep.CompletedTail; idx++ {
 			if !l.PersistedIsFull(idx) {
 				rep.Holes++
+				met.ReplayHoles++
 				continue
 			}
 			code, a0, a1 := l.PersistedReadEntry(idx)
-			sds.Execute(t, code, a0, a1)
+			rds.Execute(t, code, a0, a1)
 			rep.Replayed++
 		}
 	}
 
-	// Build a fresh engine one generation up and instantiate every replica —
-	// volatile and persistent — as a copy of the recovered state.
-	ncfg := oldCfg
-	ncfg.Generation++
-	p, err := New(t, recSys, ncfg)
-	if err != nil {
-		return nil, nil, err
-	}
+	// Instantiate every other replica — volatile and persistent — as a copy
+	// of the recovered state.
 	for _, r := range p.reps {
-		uc.Clone(t, sds, r.ds)
+		uc.Clone(t, rds, r.ds)
 	}
-	for _, pr := range p.preps {
-		uc.Clone(t, sds, pr.ds)
+	for _, pr := range p.preps[1:] {
+		uc.Clone(t, rds, pr.ds)
 	}
-	// Persist the rebuilt persistent replicas and metadata so an immediate
-	// second crash recovers the same state.
+	// Persist the rebuilt persistent replicas and metadata, then flip the
+	// commit record: an immediate second crash — anywhere, including between
+	// these two steps — recovers the same state.
 	p.checkpoint(t)
+	p.commitGeneration(t)
 	return p, rep, nil
 }

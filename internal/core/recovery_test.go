@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"prepuc/internal/history"
+	"prepuc/internal/nvm"
+	"prepuc/internal/oplog"
+	"prepuc/internal/pmem"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// sweepCfg is deliberately tiny: the nested-crash sweep reruns recovery once
+// per recovery event index, so total work is quadratic in the recovery event
+// count. One NUMA node, a small heap and a short workload keep the full
+// stride-1 sweep to a few million simulated events.
+func sweepCfg() Config {
+	cfg := hashCfg(Durable, 4, 128, 16)
+	cfg.HeapWords = 1 << 13
+	return cfg
+}
+
+// sweepWorld runs a durable workload to a crash and materializes the
+// post-crash NVM state once. Sweep harnesses Clone it per crash point, so
+// every sweep iteration recovers the exact same machine.
+type sweepWorld struct {
+	cfg       Config
+	base      *nvm.System // materialized post-crash state (scheduler drained)
+	completed []uint64
+}
+
+func newSweepWorld(t *testing.T, seed int64, crashAt uint64) *sweepWorld {
+	t.Helper()
+	cfg := sweepCfg()
+	const workers = 4
+	w := newWorld(t, cfg, nvm.Config{Costs: sim.UnitCosts(), BGFlushOneIn: 64, Seed: uint64(seed)}, seed)
+	sw := &sweepWorld{cfg: cfg, completed: make([]uint64, workers)}
+	sch := w.runWorkers(workers, crashAt, func(th *sim.Thread, tid int) {
+		for i := uint64(0); ; i++ {
+			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: history.Key(tid, i)})
+			sw.completed[tid] = i + 1
+		}
+	})
+	if !sch.Frozen() {
+		t.Fatal("workload finished without crashing; raise crashAt")
+	}
+	sw.base = w.sys.Recover(sim.New(seed + 5000))
+	return sw
+}
+
+// recoverOn runs core.Recover on sys with a fresh scheduler, optionally
+// arming a crash at event index crashAt. Returns the engine (nil if the run
+// crashed or Recover panicked walking corrupt state), the report, and
+// whether the scheduler froze.
+func recoverOn(t *testing.T, sys *nvm.System, cfg Config, seed int64, crashAt uint64) (rec *PREP, rep *RecoveryReport, frozen bool) {
+	t.Helper()
+	sch := sim.New(seed)
+	if crashAt != 0 {
+		sch.CrashAtEvent(crashAt)
+	}
+	sys.SetScheduler(sch)
+	var err error
+	sch.Spawn("recover", 0, 0, func(th *sim.Thread) {
+		defer func() {
+			if r := recover(); r != nil {
+				if sim.Crashed(r) {
+					panic(r) // unwind normally; sch.Frozen() records it
+				}
+				rec, err = nil, fmt.Errorf("recovery panicked: %v", r)
+			}
+		}()
+		rec, rep, err = Recover(th, sys, cfg)
+	})
+	sch.Run()
+	if sch.Frozen() {
+		return nil, nil, true
+	}
+	if err != nil {
+		t.Logf("Recover: %v", err)
+		return nil, nil, false
+	}
+	return rec, rep, false
+}
+
+// probeDurable checks every completed pre-crash op against the recovered
+// engine, returning a history report. Probing may panic if recovery rebuilt
+// corrupt state; the caller sees that as a nil-engine failure instead.
+func probeDurable(t *testing.T, sys *nvm.System, rec *PREP, completed []uint64, seed int64) history.Report {
+	t.Helper()
+	keys := make([][]bool, len(completed))
+	sch := sim.New(seed)
+	sys.SetScheduler(sch)
+	sch.Spawn("inspect", 0, 0, func(th *sim.Thread) {
+		for tid := range completed {
+			n := completed[tid] + 16
+			keys[tid] = make([]bool, n)
+			for i := uint64(0); i < n; i++ {
+				got := rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)})
+				keys[tid][i] = got != uc.NotFound
+			}
+		}
+	})
+	sch.Run()
+	return history.Check(keys, completed)
+}
+
+// TestCrashSweepInsideRecovery is the tentpole's acceptance test: a crash at
+// EVERY event index inside a durable recovery with a non-trivial replay
+// window, each followed by a second recovery that must satisfy durable
+// linearizability. The fixed Recover passes the whole sweep because the
+// source generation is never written: however much of the new generation the
+// nested crash destroys, the second attempt reads the same committed state.
+func TestCrashSweepInsideRecovery(t *testing.T) {
+	const seed = 101
+	sw := newSweepWorld(t, seed, 9000)
+
+	// Establish the sweep ceiling and sanity-check the scenario on an
+	// uncrashed clone: recovery must have a non-trivial replay window.
+	probe := sw.base.Clone(sim.New(seed + 1))
+	rec0, rep0, _ := recoverOn(t, probe, sw.cfg, seed+1, 0)
+	if rec0 == nil {
+		t.Fatal("baseline recovery failed")
+	}
+	if rep0.Replayed == 0 {
+		t.Fatalf("replay window is trivial (stable tail %d = completed tail %d); re-tune the workload",
+			rep0.StableLocalTail, rep0.CompletedTail)
+	}
+	events := probe.Scheduler().Events()
+	t.Logf("recovery spans %d events, replayed %d ops (window [%d,%d))",
+		events, rep0.Replayed, rep0.StableLocalTail, rep0.CompletedTail)
+
+	for k := uint64(1); k <= events; k++ {
+		trial := sw.base.Clone(sim.New(seed + 1)) // same seed: identical schedule
+		_, _, frozen := recoverOn(t, trial, sw.cfg, seed+1, k)
+		if !frozen {
+			t.Fatalf("crash-at=%d: recovery completed before the armed crash (nondeterministic schedule?)", k)
+		}
+		// Materialize the nested crash — unfenced lines resolved, volatile
+		// memories gone — and recover from scratch.
+		after := trial.Recover(sim.New(seed + 2))
+		rec2, rep2, frozen2 := recoverOn(t, after, sw.cfg, seed+2, 0)
+		if frozen2 {
+			t.Fatalf("crash-at=%d: second recovery froze without an armed crash", k)
+		}
+		if rec2 == nil {
+			t.Fatalf("crash-at=%d: second recovery failed", k)
+		}
+		if r := probeDurable(t, after, rec2, sw.completed, seed+3); !r.DurableOK() {
+			t.Fatalf("crash-at=%d: second recovery not durable-linearizable: %s (restarts=%d)",
+				k, r, rep2.Restarts)
+		}
+	}
+}
+
+// buggyRecoverInPlace reproduces the pre-fix hazard this PR's recovery
+// rewrite removed: durable log replay executed IN PLACE on the crashed
+// generation's stable persistent heap. With background write-backs enabled,
+// a crash mid-replay leaks an arbitrary subset of the partially replayed
+// heap into its persisted view — and the stable heap was the only consistent
+// copy, so the next recovery attempt starts from corrupt state.
+func buggyRecoverInPlace(t *sim.Thread, recSys *nvm.System, cfg Config) {
+	srcCfg := cfg
+	srcCfg.Generation = committedGeneration(recSys, cfg.Generation)
+	meta := recSys.Memory(srcCfg.memName("meta"))
+	active := meta.Load(t, metaActive)
+	stable := 1 - active
+	sheap := recSys.Memory(srcCfg.memName(fmt.Sprintf("pheap%d", stable)))
+	salloc := pmem.Attach(t, sheap)
+	sds := srcCfg.Attacher(t, salloc)
+	stableTail := salloc.Root(t, pTailRootSlot)
+
+	logMem := recSys.Memory(srcCfg.memName("log"))
+	l := oplog.Attach(logMem, srcCfg.LogSize)
+	for idx := stableTail; idx < l.PersistedCompletedTail(); idx++ {
+		if !l.PersistedIsFull(idx) {
+			continue
+		}
+		code, a0, a1 := l.PersistedReadEntry(idx)
+		sds.Execute(t, code, a0, a1) // the bug: mutates the recovery source
+	}
+}
+
+// TestInPlaceReplayFailsSweep demonstrates the pre-fix behaviour is actually
+// broken: sweeping a crash across the in-place replay phase and re-running
+// the (fixed) recovery afterwards must produce at least one durable-
+// linearizability violation — the mutated stable heap corrupts the state the
+// second attempt reads. This is the regression guard for the recovery
+// rewrite; TestCrashSweepInsideRecovery shows the fixed path survives the
+// same schedule.
+func TestInPlaceReplayFailsSweep(t *testing.T) {
+	const seed = 101
+	sw := newSweepWorld(t, seed, 9000)
+
+	// Background flushes are the leak vector; make them aggressive during
+	// the buggy replay so partially replayed lines hit the persisted view.
+	sw.base.SetBGFlushOneIn(4)
+
+	probe := sw.base.Clone(sim.New(seed + 1))
+	probeSch := probe.Scheduler()
+	probeSch.Spawn("buggy", 0, 0, func(th *sim.Thread) {
+		buggyRecoverInPlace(th, probe, sw.cfg)
+	})
+	probeSch.Run()
+	events := probeSch.Events()
+	if events < 16 {
+		t.Fatalf("in-place replay spans only %d events; scenario too small", events)
+	}
+
+	violations := 0
+	for k := uint64(1); k <= events; k++ {
+		trial := sw.base.Clone(sim.New(seed + 1))
+		sch := trial.Scheduler()
+		sch.CrashAtEvent(k)
+		sch.Spawn("buggy", 0, 0, func(th *sim.Thread) {
+			buggyRecoverInPlace(th, trial, sw.cfg)
+		})
+		sch.Run()
+		if !sch.Frozen() {
+			break
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					violations++ // recovery or probing walked corrupt state
+				}
+			}()
+			after := trial.Recover(sim.New(seed + 2))
+			rec2, _, frozen2 := recoverOn(t, after, sw.cfg, seed+2, 0)
+			if frozen2 {
+				t.Fatalf("crash-at=%d: second recovery froze without an armed crash", k)
+			}
+			if rec2 == nil {
+				violations++
+				return
+			}
+			if r := probeDurable(t, after, rec2, sw.completed, seed+3); !r.DurableOK() {
+				violations++
+			}
+		}()
+	}
+	if violations == 0 {
+		t.Error("in-place replay survived the whole crash sweep; the regression scenario no longer exercises the hazard")
+	} else {
+		t.Logf("in-place replay produced %d violations across %d crash points", violations, events)
+	}
+}
+
+// TestRecoveryRestartsCounted checks the free-generation scan: a crash
+// inside recovery leaves a partial generation behind, and the next attempt
+// must skip it, reporting the restart in both the report and the metrics
+// registry.
+func TestRecoveryRestartsCounted(t *testing.T) {
+	const seed = 211
+	sw := newSweepWorld(t, seed, 9000)
+
+	trial := sw.base.Clone(sim.New(seed + 1))
+	// Crash somewhere inside the rebuild, late enough that the new
+	// generation's NVM names exist.
+	_, _, frozen := recoverOn(t, trial, sw.cfg, seed+1, 2000)
+	if !frozen {
+		t.Skip("recovery completed before event 2000; nothing to restart")
+	}
+	after := trial.Recover(sim.New(seed + 2))
+	base := after.Metrics().Snapshot()
+	rec2, rep2, _ := recoverOn(t, after, sw.cfg, seed+2, 0)
+	if rec2 == nil {
+		t.Fatal("second recovery failed")
+	}
+	if rep2.Restarts == 0 {
+		t.Skip("crash point preceded the new generation's first NVM allocation")
+	}
+	if rep2.Generation != rep2.SourceGeneration+1+int(rep2.Restarts) {
+		t.Errorf("generation arithmetic: src=%d restarts=%d new=%d",
+			rep2.SourceGeneration, rep2.Restarts, rep2.Generation)
+	}
+	if d := after.Metrics().Snapshot().Sub(base); d.RecoveryRestarts != rep2.Restarts {
+		t.Errorf("metrics recovery_restarts = %d, report says %d", d.RecoveryRestarts, rep2.Restarts)
+	}
+}

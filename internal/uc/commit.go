@@ -1,0 +1,56 @@
+package uc
+
+import (
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+)
+
+// CommitCell is a one-line persistent generation-commit record. Every
+// persistent construction in this repository names its NVM memories
+// "<prefix>.g<generation>.<role>" and recovers by building the state of one
+// generation into a fresh one; the commit cell records which generation is
+// the lineage's current recovery source. Word 0 holds committedGeneration+1
+// (0 = nothing committed yet — fresh NVM reads zero), flipped with a single
+// synchronous line flush only AFTER the new generation's state is fully
+// persisted. That ordering makes recovery re-entrant: killed at any event,
+// a re-run reads the same committed source, because a generation becomes
+// the source only once it is complete.
+//
+// The cell's memory name is generation-independent, so every generation of
+// a lineage reads and writes the same cell.
+type CommitCell struct {
+	sys *nvm.System
+	mem *nvm.Memory
+}
+
+// EnsureCommitCell attaches the named commit cell, creating it (one NVM line
+// homed on node home) on first use.
+func EnsureCommitCell(sys *nvm.System, name string, home int) CommitCell {
+	if sys.HasMemory(name) {
+		return CommitCell{sys, sys.Memory(name)}
+	}
+	return CommitCell{sys, sys.NewMemory(name, nvm.NVM, home, nvm.WordsPerLine)}
+}
+
+// Commit durably records gen as the lineage's committed generation. The
+// synchronous flush means the record is persistent before Commit returns; a
+// crash anywhere inside Commit leaves either the old or the new value, both
+// of which name a complete generation.
+func (c CommitCell) Commit(t *sim.Thread, gen int) {
+	c.mem.Store(t, 0, uint64(gen)+1)
+	f := c.sys.NewFlusher()
+	f.FlushLineSync(t, c.mem, 0)
+}
+
+// CommittedGeneration reads the persisted commit record of a recovered
+// system, returning fallback when the cell does not exist or was never
+// flipped (a crash before the lineage's first commit).
+func CommittedGeneration(recSys *nvm.System, name string, fallback int) int {
+	if !recSys.HasMemory(name) {
+		return fallback
+	}
+	if w := recSys.Memory(name).PersistedLoad(0); w != 0 {
+		return int(w - 1)
+	}
+	return fallback
+}
