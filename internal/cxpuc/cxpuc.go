@@ -62,6 +62,16 @@ const (
 // index<<8 | replicaID (index = number of ops applied in that replica).
 const metaLatest = 0
 
+// commitMemName is CX-PUC's generation-commit record (uc.CommitCell),
+// shared by every generation of a lineage. Without it, a crash inside
+// Recover would be unrecoverable: New publishes an EMPTY replica 0 before
+// the recovered state is cloned in, so a nested crash at that point would
+// leave the new generation's meta pointing at an empty replica — and a
+// naive second recovery reading the newest generation would lose every key.
+// The commit record keeps the old generation the recovery source until the
+// new one's replicas are persisted.
+const commitMemName = "cx.commit"
+
 const ctrlQTail = 0 // queue tail index, in volatile control memory
 
 type cxReplica struct {
@@ -81,9 +91,10 @@ type CX struct {
 	sys   *nvm.System
 	queue *nvm.Memory // volatile op queue
 	ctrl  *nvm.Memory // volatile control (queue tail)
-	meta  *nvm.Memory // NVM: published (index, replica) word
-	reps  []*cxReplica
-	flush *nvm.Flusher
+	meta   *nvm.Memory // NVM: published (index, replica) word
+	commit uc.CommitCell
+	reps   []*cxReplica
+	flush  *nvm.Flusher
 }
 
 var (
@@ -96,8 +107,26 @@ func (c *CX) Stats() metrics.Snapshot { return c.sys.Metrics().Snapshot() }
 
 func (c Config) memName(s string) string { return fmt.Sprintf("cx.g%d.%s", c.Generation, s) }
 
-// New builds a CX-PUC instance inside sys.
+// Config returns the instance's (normalized) configuration; recovery
+// harnesses feed it back to Recover after a crash.
+func (c *CX) Config() Config { return c.cfg }
+
+// New builds a CX-PUC instance inside sys and commits its generation, so a
+// crash right after boot recovers the empty object.
 func New(t *sim.Thread, sys *nvm.System, cfg Config) (*CX, error) {
+	cx, err := newEngine(t, sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cx.commit.Commit(t, cx.cfg.Generation)
+	return cx, nil
+}
+
+// newEngine builds the instance without committing its generation. Recover
+// uses it directly: the new generation publishes an empty replica here and
+// must not become the recovery source until the recovered state has been
+// cloned in and persisted.
+func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) (*CX, error) {
 	if cfg.Workers <= 0 || cfg.Factory == nil || cfg.HeapWords == 0 {
 		return nil, fmt.Errorf("cxpuc: incomplete config")
 	}
@@ -119,6 +148,7 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) (*CX, error) {
 	cx.ctrl = sys.NewMemory(cfg.memName("ctrl"), nvm.Volatile, nvm.Interleaved,
 		uint64(nReps+1)*nvm.WordsPerLine)
 	cx.meta = sys.NewMemory(cfg.memName("meta"), nvm.NVM, 0, nvm.WordsPerLine)
+	cx.commit = uc.EnsureCommitCell(sys, commitMemName, 0)
 	cx.flush = sys.NewFlusher()
 	for i := 0; i < nReps; i++ {
 		heap := sys.NewMemory(cfg.memName(fmt.Sprintf("rep%d", i)), nvm.NVM, i%2, cfg.HeapWords)

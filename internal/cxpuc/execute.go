@@ -180,20 +180,35 @@ func (cx *CX) Prefill(t *sim.Thread, ops []uc.Op) {
 // Replicas returns the replica count (tests).
 func (cx *CX) Replicas() int { return len(cx.reps) }
 
-// Recover rebuilds a CX-PUC instance from NVM after a crash: the published
-// replica (its heap was fully flushed before publication) seeds every
-// replica of a fresh generation.
+// Recover rebuilds a CX-PUC instance from NVM after a crash: the committed
+// generation's published replica (its heap was fully flushed before
+// publication) seeds every replica of a fresh generation. oldCfg may carry
+// any generation of the crashed lineage — the persisted commit record, not
+// oldCfg.Generation, selects the source.
+//
+// Recover is re-entrant: the new generation's commit record flips only after
+// its replica 0 and meta are persisted, so a crash at any event inside
+// Recover leaves the previous committed generation as the source for the
+// next attempt.
 func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*CX, error) {
-	meta := recSys.Memory(oldCfg.memName("meta"))
+	srcCfg := oldCfg
+	srcCfg.Generation = uc.CommittedGeneration(recSys, commitMemName, oldCfg.Generation)
+	meta := recSys.Memory(srcCfg.memName("meta"))
 	w := meta.Load(t, metaLatest)
 	repID := int(w & 0xFF)
-	heap := recSys.Memory(oldCfg.memName(fmt.Sprintf("rep%d", repID)))
+	heap := recSys.Memory(srcCfg.memName(fmt.Sprintf("rep%d", repID)))
 	alloc := pmem.Attach(t, heap)
-	sds := oldCfg.Attacher(t, alloc)
+	sds := srcCfg.Attacher(t, alloc)
 
-	ncfg := oldCfg
+	// Skip generations a crashed earlier recovery attempt left behind.
+	met := recSys.Metrics()
+	ncfg := srcCfg
 	ncfg.Generation++
-	cx, err := New(t, recSys, ncfg)
+	for recSys.HasMemory(ncfg.memName("meta")) {
+		ncfg.Generation++
+		met.RecoveryRestarts++
+	}
+	cx, err := newEngine(t, recSys, ncfg)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +218,18 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*CX, error) {
 	r0 := cx.reps[0]
 	r0.heap.FlushRegion(t, 0, r0.alloc.HeapTop(t))
 	cx.flush.FlushLineSync(t, cx.meta, metaLatest)
+	cx.commit.Commit(t, ncfg.Generation)
 	return cx, nil
+}
+
+// DumpState returns replica 0's state as the flat (code, a0, a1) triples its
+// Dump emits. Tests compare dumps across recovery attempts for idempotence.
+func (cx *CX) DumpState(t *sim.Thread) []uint64 {
+	var out []uint64
+	cx.reps[0].ds.Dump(t, func(code, a0, a1 uint64) {
+		out = append(out, code, a0, a1)
+	})
+	return out
 }
 
 // backoff mirrors core's truncated exponential backoff.

@@ -79,3 +79,82 @@ func (r Report) String() string {
 	return fmt.Sprintf("workers=%d completed=%d recovered=%d lost=%d extra=%d prefix-violations=%d",
 		r.Workers, r.Completed, r.Recovered, r.LostCompleted, r.ExtraRecovered, r.PrefixViolations)
 }
+
+// EpochKey encodes worker tid's i-th key of crash epoch e (the workload run
+// between the e-th and e+1-th crash of a multi-crash torture cycle). Epochs
+// get disjoint key ranges so a later epoch's survivors can never masquerade
+// as an earlier epoch's. Bounds: e < 2^16, tid < 2^16, i < 2^32.
+func EpochKey(e int, tid int, i uint64) uint64 {
+	return uint64(e)<<48 | uint64(tid)<<32 | i
+}
+
+// Epoch is one crash epoch's observation: per-worker completion counts
+// recorded before that epoch's crash, and per-worker key survival probed
+// after the FINAL recovery (keys[tid][i] ⇔ EpochKey(e, tid, i) survived).
+type Epoch struct {
+	Completed []uint64
+	Keys      [][]bool
+}
+
+// MultiReport aggregates per-epoch reports across K consecutive crashes.
+type MultiReport struct {
+	Epochs []Report
+}
+
+// CheckEpochs evaluates a K-crash history: epochs[e] holds epoch e's
+// observations, all probed against the state recovered after the last crash.
+// Every epoch must independently satisfy the per-worker prefix property —
+// an epoch-e key insert that completed cannot reappear after being lost, and
+// losses within each epoch must be a per-worker suffix.
+func CheckEpochs(epochs []Epoch) MultiReport {
+	var mr MultiReport
+	for _, e := range epochs {
+		mr.Epochs = append(mr.Epochs, Check(e.Keys, e.Completed))
+	}
+	return mr
+}
+
+// DurableOK reports durable linearizability across every epoch: no completed
+// operation of any epoch is missing from the final recovered state.
+func (mr MultiReport) DurableOK() bool {
+	for _, r := range mr.Epochs {
+		if !r.DurableOK() {
+			return false
+		}
+	}
+	return true
+}
+
+// BufferedOK reports buffered durable linearizability across K crashes: each
+// epoch independently loses at most a suffix of ε+β−1 completed operations,
+// which bounds the total loss by K·(ε+β−1).
+func (mr MultiReport) BufferedOK(epsilon, beta uint64) bool {
+	for _, r := range mr.Epochs {
+		if !r.BufferedOK(epsilon, beta) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalLost sums lost completed operations across epochs (≤ K·(ε+β−1) when
+// BufferedOK holds).
+func (mr MultiReport) TotalLost() uint64 {
+	var n uint64
+	for _, r := range mr.Epochs {
+		n += r.LostCompleted
+	}
+	return n
+}
+
+// String renders one line per epoch.
+func (mr MultiReport) String() string {
+	s := ""
+	for e, r := range mr.Epochs {
+		if e > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("epoch%d: %s", e, r.String())
+	}
+	return s
+}

@@ -73,3 +73,69 @@ func TestKeyEncoding(t *testing.T) {
 		t.Error("keys collide across workers")
 	}
 }
+
+func TestEpochKeyEncoding(t *testing.T) {
+	if EpochKey(0, 3, 7) != Key(3, 7) {
+		t.Error("epoch 0 must coincide with the single-crash encoding")
+	}
+	if EpochKey(2, 3, 7) != 2<<48|3<<32|7 {
+		t.Error("epoch key encoding changed")
+	}
+	if EpochKey(1, 0, 5) == EpochKey(2, 0, 5) {
+		t.Error("keys collide across epochs")
+	}
+}
+
+func TestCheckEpochsDurable(t *testing.T) {
+	// K=2: every completed op of both epochs survived the final recovery.
+	mr := CheckEpochs([]Epoch{
+		{Completed: []uint64{3}, Keys: mk([]bool{true, true, true, false})},
+		{Completed: []uint64{2}, Keys: mk([]bool{true, true, false, false})},
+	})
+	if !mr.DurableOK() {
+		t.Errorf("expected durable OK: %s", mr)
+	}
+	if mr.TotalLost() != 0 {
+		t.Errorf("total lost = %d, want 0", mr.TotalLost())
+	}
+}
+
+func TestCheckEpochsPerEpochBound(t *testing.T) {
+	// K=3, ε+β−1 = 2 per epoch: each epoch loses exactly 2 — within the
+	// per-epoch bound, so the total K·(ε+β−1) = 6 bound holds too.
+	mr := CheckEpochs([]Epoch{
+		{Completed: []uint64{4}, Keys: mk([]bool{true, true, false, false})},
+		{Completed: []uint64{3}, Keys: mk([]bool{true, false, false, false})},
+		{Completed: []uint64{2}, Keys: mk([]bool{false, false, false, false})},
+	})
+	if mr.DurableOK() {
+		t.Error("lost ops but durable OK")
+	}
+	if !mr.BufferedOK(2, 1) {
+		t.Errorf("per-epoch loss 2 within ε+β−1 = 2 should pass: %s", mr)
+	}
+	if mr.TotalLost() != 6 {
+		t.Errorf("total lost = %d, want 6", mr.TotalLost())
+	}
+	// Concentrating 3 losses in one epoch breaks the per-epoch bound even
+	// though the total stays below K·(ε+β−1).
+	mr = CheckEpochs([]Epoch{
+		{Completed: []uint64{4}, Keys: mk([]bool{true, false, false, false})},
+		{Completed: []uint64{3}, Keys: mk([]bool{true, true, true, false})},
+		{Completed: []uint64{2}, Keys: mk([]bool{true, true, false, false})},
+	})
+	if mr.BufferedOK(2, 1) {
+		t.Errorf("epoch loss 3 beyond ε+β−1 = 2 should fail: %s", mr)
+	}
+}
+
+func TestCheckEpochsPrefixViolation(t *testing.T) {
+	// A key resurfacing after a hole in ANY epoch fails both conditions.
+	mr := CheckEpochs([]Epoch{
+		{Completed: []uint64{2}, Keys: mk([]bool{true, true, false})},
+		{Completed: []uint64{3}, Keys: mk([]bool{true, false, true})},
+	})
+	if mr.DurableOK() || mr.BufferedOK(100, 100) {
+		t.Errorf("prefix violation in epoch 1 must fail both conditions: %s", mr)
+	}
+}

@@ -1,0 +1,348 @@
+package integration
+
+import (
+	"sort"
+	"testing"
+
+	"prepuc/internal/core"
+	"prepuc/internal/cxpuc"
+	"prepuc/internal/fault"
+	"prepuc/internal/history"
+	"prepuc/internal/nvm"
+	"prepuc/internal/onll"
+	"prepuc/internal/seq"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// sortTriples orders a flat (code, a0, a1) dump so states can be compared
+// across recovery generations (hashmap chains reverse order under Dump/
+// Execute cloning, so raw dump order is not canonical).
+func sortTriples(d []uint64) [][3]uint64 {
+	out := make([][3]uint64, 0, len(d)/3)
+	for i := 0; i+2 < len(d); i += 3 {
+		out = append(out, [3]uint64{d[i], d[i+1], d[i+2]})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x[0] != y[0] {
+			return x[0] < y[0]
+		}
+		if x[1] != y[1] {
+			return x[1] < y[1]
+		}
+		return x[2] < y[2]
+	})
+	return out
+}
+
+func equalTriples(a, b [][3]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDoubleRecoveryIdempotent checks, for every persistent construction:
+// recover, crash again IMMEDIATELY (no operation in between), recover again
+// — the two recovered states must be identical. The second crash runs under
+// DropAll, so any line the first recovery left unfenced is lost: a
+// difference between the dumps means recovery's committed state was not
+// fully persisted before the commit record flipped.
+func TestDoubleRecoveryIdempotent(t *testing.T) {
+	const workers, crashAt = 4, 40_000
+
+	type instance struct {
+		dump func(th *sim.Thread) []uint64
+	}
+	cases := []struct {
+		name string
+		// build boots the system, returning a workload driver.
+		build func(t *testing.T, th *sim.Thread, ns *nvm.System) sys
+		// recover reruns recovery on a recovered nvm system with the BOOT
+		// configuration (the commit record, not the caller, must resolve the
+		// source generation) and returns the state dump hook.
+		recover func(t *testing.T, th *sim.Thread, ns *nvm.System) instance
+	}{
+		{
+			name: "PREP-Durable",
+			build: func(t *testing.T, th *sim.Thread, ns *nvm.System) sys {
+				p, err := core.New(th, ns, prepIdemCfg(core.Durable, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			recover: func(t *testing.T, th *sim.Thread, ns *nvm.System) instance {
+				p, _, err := core.Recover(th, ns, prepIdemCfg(core.Durable, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return instance{dump: p.DumpState}
+			},
+		},
+		{
+			name: "PREP-Buffered",
+			build: func(t *testing.T, th *sim.Thread, ns *nvm.System) sys {
+				p, err := core.New(th, ns, prepIdemCfg(core.Buffered, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			recover: func(t *testing.T, th *sim.Thread, ns *nvm.System) instance {
+				p, _, err := core.Recover(th, ns, prepIdemCfg(core.Buffered, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return instance{dump: p.DumpState}
+			},
+		},
+		{
+			name: "CX-PUC",
+			build: func(t *testing.T, th *sim.Thread, ns *nvm.System) sys {
+				cx, err := cxpuc.New(th, ns, cxIdemCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cx
+			},
+			recover: func(t *testing.T, th *sim.Thread, ns *nvm.System) instance {
+				cx, err := cxpuc.Recover(th, ns, cxIdemCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return instance{dump: cx.DumpState}
+			},
+		},
+		{
+			name: "ONLL",
+			build: func(t *testing.T, th *sim.Thread, ns *nvm.System) sys {
+				o, err := onll.New(th, ns, onllIdemCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return o
+			},
+			recover: func(t *testing.T, th *sim.Thread, ns *nvm.System) instance {
+				o, _, err := onll.Recover(th, ns, onllIdemCfg(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return instance{dump: o.DumpState}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bootSch := sim.New(17)
+			ns := nvm.NewSystem(bootSch, nvm.Config{Costs: sim.UnitCosts(), BGFlushOneIn: 256, Seed: 23})
+			var s sys
+			bootSch.Spawn("boot", 0, 0, func(th *sim.Thread) { s = tc.build(t, th, ns) })
+			bootSch.Run()
+
+			// Workload until the crash.
+			sch := sim.New(18)
+			sch.CrashAtEvent(crashAt)
+			ns.SetScheduler(sch)
+			if p, ok := s.(*core.PREP); ok {
+				p.SpawnPersistence(0)
+			}
+			for tid := 0; tid < workers; tid++ {
+				tid := tid
+				sch.Spawn("w", topo().NodeOf(tid), 0, func(th *sim.Thread) {
+					defer func() {
+						if r := recover(); r != nil && !sim.Crashed(r) {
+							panic(r)
+						}
+					}()
+					for i := uint64(0); ; i++ {
+						s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+					}
+				})
+			}
+			sch.Run()
+			if !sch.Frozen() {
+				t.Fatal("workload did not crash")
+			}
+
+			// First recovery.
+			rSch1 := sim.New(19)
+			sys1 := ns.Recover(rSch1)
+			var inst1 instance
+			rSch1.Spawn("rec1", 0, 0, func(th *sim.Thread) { inst1 = tc.recover(t, th, sys1) })
+			rSch1.Run()
+			var dump1 []uint64
+			dSch1 := sim.New(20)
+			sys1.SetScheduler(dSch1)
+			dSch1.Spawn("dump1", 0, 0, func(th *sim.Thread) { dump1 = inst1.dump(th) })
+			dSch1.Run()
+
+			// Immediate second crash — not one operation ran — under the most
+			// adversarial persistence policy, then recover again with the
+			// ORIGINAL boot configuration.
+			sys1.SetFaultPolicy(fault.DropAll())
+			rSch2 := sim.New(21)
+			sys2 := sys1.Recover(rSch2)
+			var inst2 instance
+			rSch2.Spawn("rec2", 0, 0, func(th *sim.Thread) { inst2 = tc.recover(t, th, sys2) })
+			rSch2.Run()
+			var dump2 []uint64
+			dSch2 := sim.New(22)
+			sys2.SetScheduler(dSch2)
+			dSch2.Spawn("dump2", 0, 0, func(th *sim.Thread) { dump2 = inst2.dump(th) })
+			dSch2.Run()
+
+			a, b := sortTriples(dump1), sortTriples(dump2)
+			if len(a) == 0 {
+				t.Fatal("first recovery produced an empty state; workload too short to be meaningful")
+			}
+			if !equalTriples(a, b) {
+				t.Errorf("recovered states differ: first has %d ops, second %d", len(a), len(b))
+			}
+		})
+	}
+}
+
+func prepIdemCfg(mode core.Mode, workers int) core.Config {
+	return core.Config{
+		Mode: mode, Topology: topo(), Workers: workers,
+		LogSize: 256, Epsilon: 32,
+		Factory: seq.HashMapFactory(64), Attacher: seq.HashMapAttacher,
+		HeapWords: 1 << 20,
+	}
+}
+
+func cxIdemCfg(workers int) cxpuc.Config {
+	return cxpuc.Config{
+		Workers: workers, Factory: seq.HashMapFactory(64), Attacher: seq.HashMapAttacher,
+		HeapWords: 1 << 20, QueueCapacity: 1 << 16, CapReplicas: 4,
+	}
+}
+
+func onllIdemCfg(workers int) onll.Config {
+	return onll.Config{
+		Workers: workers, Factory: seq.HashMapFactory(64),
+		HeapWords: 1 << 20, LogEntries: 1 << 13,
+	}
+}
+
+// TestMultiCrashEpochs drives K consecutive crash/recover cycles through
+// PREP, giving each epoch a disjoint key range, and verifies the final state
+// against every epoch at once: durable mode must preserve every epoch's
+// completed ops; buffered mode must lose at most ε+β−1 per epoch (total
+// K·(ε+β−1)). The durable variant runs under DropAll — strictly more
+// adversarial than the default coin.
+func TestMultiCrashEpochs(t *testing.T) {
+	const workers = 4
+	beta := uint64(topo().ThreadsPerNode)
+	for _, tc := range []struct {
+		name   string
+		mode   core.Mode
+		k      int
+		policy fault.Policy
+	}{
+		{"durable-k2-dropall", core.Durable, 2, fault.DropAll()},
+		{"durable-k3-dropall", core.Durable, 3, fault.DropAll()},
+		{"buffered-k2", core.Buffered, 2, nil},
+		{"buffered-k3", core.Buffered, 3, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := prepIdemCfg(tc.mode, workers)
+			bootSch := sim.New(31)
+			ns := nvm.NewSystem(bootSch, nvm.Config{Costs: sim.UnitCosts(), BGFlushOneIn: 256, Seed: 37})
+			if tc.policy != nil {
+				ns.SetFaultPolicy(tc.policy)
+			}
+			var p *core.PREP
+			var err error
+			bootSch.Spawn("boot", 0, 0, func(th *sim.Thread) { p, err = core.New(th, ns, cfg) })
+			bootSch.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			epochs := make([]history.Epoch, tc.k)
+			for e := 0; e < tc.k; e++ {
+				crashAt := uint64(30_000 + e*7_000)
+				sch := sim.New(int64(100*e) + 41)
+				sch.CrashAtEvent(crashAt)
+				ns.SetScheduler(sch)
+				p.SpawnPersistence(0)
+				completed := make([]uint64, workers)
+				e := e
+				for tid := 0; tid < workers; tid++ {
+					tid := tid
+					sch.Spawn("w", topo().NodeOf(tid), 0, func(th *sim.Thread) {
+						defer func() {
+							if r := recover(); r != nil && !sim.Crashed(r) {
+								panic(r)
+							}
+						}()
+						for i := uint64(0); ; i++ {
+							p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.EpochKey(e, tid, i), A1: i})
+							completed[tid] = i + 1
+						}
+					})
+				}
+				sch.Run()
+				if !sch.Frozen() {
+					t.Fatalf("epoch %d did not crash", e)
+				}
+				epochs[e].Completed = completed
+
+				recSch := sim.New(int64(100*e) + 42)
+				ns = ns.Recover(recSch)
+				recSch.Spawn("rec", 0, 0, func(th *sim.Thread) {
+					// Always the BOOT config: the commit record resolves the
+					// actual source generation across all K crashes.
+					p, _, err = core.Recover(th, ns, cfg)
+				})
+				recSch.Run()
+				if err != nil {
+					t.Fatalf("epoch %d recover: %v", e, err)
+				}
+			}
+
+			// Probe every epoch's keys against the FINAL recovered state.
+			probeSch := sim.New(43)
+			ns.SetScheduler(probeSch)
+			probeSch.Spawn("probe", 0, 0, func(th *sim.Thread) {
+				for e := 0; e < tc.k; e++ {
+					epochs[e].Keys = make([][]bool, workers)
+					for tid := 0; tid < workers; tid++ {
+						n := epochs[e].Completed[tid] + 16
+						epochs[e].Keys[tid] = make([]bool, n)
+						for i := uint64(0); i < n; i++ {
+							got := p.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.EpochKey(e, tid, i)})
+							epochs[e].Keys[tid][i] = got != uc.NotFound
+						}
+					}
+				}
+			})
+			probeSch.Run()
+
+			mr := history.CheckEpochs(epochs)
+			switch tc.mode {
+			case core.Durable:
+				if !mr.DurableOK() {
+					t.Errorf("multi-crash durable violation: %s", mr)
+				}
+			case core.Buffered:
+				if !mr.BufferedOK(cfg.Epsilon, beta) {
+					t.Errorf("multi-crash buffered violation (per-epoch bound %d): %s",
+						cfg.Epsilon+beta-1, mr)
+				}
+				if limit := uint64(tc.k) * (cfg.Epsilon + beta - 1); mr.TotalLost() > limit {
+					t.Errorf("total loss %d exceeds K·(ε+β−1) = %d", mr.TotalLost(), limit)
+				}
+			}
+		})
+	}
+}

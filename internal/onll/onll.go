@@ -71,6 +71,14 @@ const (
 	opRecWords  = 4
 )
 
+// commitMemName is ONLL's generation-commit record (uc.CommitCell). Recovery
+// replays the committed generation's logs into a fresh generation's logs
+// (one re-logged entry per replayed op); a nested crash mid-replay leaves
+// the new generation's logs holding only a prefix, so the record flips to
+// the new generation only after replay completes — keeping the full source
+// logs authoritative for the next recovery attempt.
+const commitMemName = "onll.commit"
+
 // ONLL is one instance of the construction.
 type ONLL struct {
 	cfg       Config
@@ -86,6 +94,7 @@ type ONLL struct {
 	flushers  []*nvm.Flusher
 	logPos    []uint64 // next entry slot per thread (volatile bookkeeping)
 	entrySize uint64
+	commit    uc.CommitCell
 }
 
 var (
@@ -107,8 +116,24 @@ func entryWords(n int) uint64 {
 	return w
 }
 
-// New builds an ONLL instance inside sys.
+// Config returns the instance's (normalized) configuration; recovery
+// harnesses feed it back to Recover after a crash.
+func (o *ONLL) Config() Config { return o.cfg }
+
+// New builds an ONLL instance inside sys and commits its generation, so a
+// crash right after boot recovers the empty object.
 func New(t *sim.Thread, sys *nvm.System, cfg Config) (*ONLL, error) {
+	o, err := newEngine(t, sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	o.commit.Commit(t, o.cfg.Generation)
+	return o, nil
+}
+
+// newEngine builds the instance without committing its generation (see
+// commitMemName; Recover commits only after replay completes).
+func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) (*ONLL, error) {
 	if cfg.Workers <= 0 || cfg.Factory == nil || cfg.HeapWords == 0 {
 		return nil, fmt.Errorf("onll: incomplete config")
 	}
@@ -124,6 +149,7 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) (*ONLL, error) {
 	o.ctrl = sys.NewMemory(cfg.memName("ctrl"), nvm.Volatile, nvm.Interleaved,
 		o.slotsOff+uint64(cfg.Workers)*slotWords)
 	o.lock = locks.NewDistRWLock(o.ctrl, ctrlLock, cfg.Workers)
+	o.commit = uc.EnsureCommitCell(sys, commitMemName, nvm.Interleaved)
 	o.logPos = make([]uint64, cfg.Workers)
 	for tid := 0; tid < cfg.Workers; tid++ {
 		o.logs = append(o.logs, sys.NewMemory(cfg.memName(fmt.Sprintf("log%d", tid)),
@@ -236,14 +262,20 @@ func (o *ONLL) Prefill(t *sim.Thread, ops []uc.Op) {
 	}
 }
 
-// Recover rebuilds an ONLL instance after a crash: the union of all valid
-// persisted log entries, replayed in linearization order up to the first
-// gap. Returns the instance and the number of replayed operations.
+// Recover rebuilds an ONLL instance after a crash: the union of the
+// committed generation's valid persisted log entries, replayed in
+// linearization order up to the first gap. Returns the instance and the
+// number of replayed operations. oldCfg may carry any generation of the
+// crashed lineage; the persisted commit record selects the source logs, and
+// the record flips to the rebuilt generation only after replay completes —
+// so Recover killed at any event re-runs from the same source.
 func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*ONLL, uint64, error) {
-	entrySize := entryWords(oldCfg.Workers)
+	srcCfg := oldCfg
+	srcCfg.Generation = uc.CommittedGeneration(recSys, commitMemName, oldCfg.Generation)
+	entrySize := entryWords(srcCfg.Workers)
 	byIndex := map[uint64]opRec{}
-	for tid := 0; tid < oldCfg.Workers; tid++ {
-		log := recSys.Memory(oldCfg.memName(fmt.Sprintf("log%d", tid)))
+	for tid := 0; tid < srcCfg.Workers; tid++ {
+		log := recSys.Memory(srcCfg.memName(fmt.Sprintf("log%d", tid)))
 		for base := uint64(0); base+entrySize <= log.Words(); base += entrySize {
 			count := log.Load(t, base+entCount)
 			if count == 0 || count > uint64(oldCfg.Workers) {
@@ -273,9 +305,16 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*ONLL, uint64, e
 	}
 	sort.Slice(indexes, func(a, b int) bool { return indexes[a] < indexes[b] })
 
-	ncfg := oldCfg
+	// Skip generations a crashed earlier recovery attempt left behind (their
+	// logs hold only a replay prefix).
+	met := recSys.Metrics()
+	ncfg := srcCfg
 	ncfg.Generation++
-	o, err := New(t, recSys, ncfg)
+	for recSys.HasMemory(ncfg.memName("log0")) {
+		ncfg.Generation++
+		met.RecoveryRestarts++
+	}
+	o, err := newEngine(t, recSys, ncfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -290,5 +329,17 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*ONLL, uint64, e
 		replayed++
 		next++
 	}
+	o.commit.Commit(t, ncfg.Generation)
 	return o, replayed, nil
+}
+
+// DumpState returns the object's state as the flat (code, a0, a1) triples
+// its Dump emits. Tests compare dumps across recovery attempts for
+// idempotence.
+func (o *ONLL) DumpState(t *sim.Thread) []uint64 {
+	var out []uint64
+	o.ds.Dump(t, func(code, a0, a1 uint64) {
+		out = append(out, code, a0, a1)
+	})
+	return out
 }

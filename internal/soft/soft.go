@@ -63,6 +63,13 @@ type Config struct {
 	Generation int
 }
 
+// commitMemName is SOFT's generation-commit record (uc.CommitCell).
+// Recovery re-inserts the committed generation's surviving persistent nodes
+// into a fresh generation's slab; a nested crash mid-scan leaves the new
+// slab holding only a subset, so the record flips to the new generation
+// only after the scan completes.
+const commitMemName = "soft.commit"
+
 // Soft is one SOFT hashtable.
 type Soft struct {
 	cfg    Config
@@ -70,6 +77,7 @@ type Soft struct {
 	vmem   *nvm.Memory // buckets, locks, volatile nodes
 	valloc *pmem.Allocator
 	pmem   *nvm.Memory // persistent node slab
+	commit uc.CommitCell
 	// Offsets inside vmem.
 	bucketsOff, locksOff uint64
 	slabOff              uint64 // [0]=bump index, [1]=free-list head, [2]=slab lock
@@ -86,8 +94,21 @@ func (s *Soft) Stats() metrics.Snapshot { return s.sys.Metrics().Snapshot() }
 
 func (c Config) memName(s string) string { return fmt.Sprintf("soft.g%d.%s", c.Generation, s) }
 
-// New builds an empty table inside sys.
+// Config returns the table's (normalized) configuration; recovery harnesses
+// feed it back to Recover after a crash.
+func (s *Soft) Config() Config { return s.cfg }
+
+// New builds an empty table inside sys and commits its generation, so a
+// crash right after boot recovers the empty table.
 func New(t *sim.Thread, sys *nvm.System, cfg Config) *Soft {
+	s := newEngine(t, sys, cfg)
+	s.commit.Commit(t, s.cfg.Generation)
+	return s
+}
+
+// newEngine builds the table without committing its generation (see
+// commitMemName; Recover commits only after its slab scan completes).
+func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) *Soft {
 	if cfg.Buckets == 0 {
 		cfg.Buckets = 1024
 	}
@@ -101,6 +122,7 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) *Soft {
 	s.vmem = sys.NewMemory(cfg.memName("volatile"), nvm.Volatile, nvm.Interleaved, cfg.VolatileWords)
 	s.valloc = pmem.New(t, s.vmem)
 	s.pmem = sys.NewMemory(cfg.memName("persistent"), nvm.NVM, nvm.Interleaved, cfg.PersistentWords)
+	s.commit = uc.EnsureCommitCell(sys, commitMemName, nvm.Interleaved)
 	s.bucketsOff = s.valloc.Alloc(t, cfg.Buckets)
 	s.locksOff = s.valloc.Alloc(t, cfg.Buckets)
 	s.slabOff = s.valloc.Alloc(t, 4)
@@ -303,14 +325,27 @@ func (s *Soft) Prefill(t *sim.Thread, ops []uc.Op) {
 	}
 }
 
-// Recover rebuilds a table after a crash by scanning the old persistent
-// node slab — SOFT's actual recovery strategy (links are never persisted).
-// Returns the rebuilt table and the number of recovered keys.
+// Recover rebuilds a table after a crash by scanning the committed
+// generation's persistent node slab — SOFT's actual recovery strategy
+// (links are never persisted). Returns the rebuilt table and the number of
+// recovered keys. oldCfg may carry any generation of the crashed lineage;
+// the persisted commit record selects the source slab, and the record flips
+// to the rebuilt generation only after the scan completes — so Recover
+// killed at any event re-runs from the same source.
 func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*Soft, uint64, error) {
-	old := recSys.Memory(oldCfg.memName("persistent"))
-	ncfg := oldCfg
+	srcCfg := oldCfg
+	srcCfg.Generation = uc.CommittedGeneration(recSys, commitMemName, oldCfg.Generation)
+	old := recSys.Memory(srcCfg.memName("persistent"))
+	// Skip generations a crashed earlier recovery attempt left behind (their
+	// slabs hold only a subset of the keys).
+	met := recSys.Metrics()
+	ncfg := srcCfg
 	ncfg.Generation++
-	s := New(t, recSys, ncfg)
+	for recSys.HasMemory(ncfg.memName("persistent")) {
+		ncfg.Generation++
+		met.RecoveryRestarts++
+	}
+	s := newEngine(t, recSys, ncfg)
 	f := s.flusherFor(0)
 	var recovered uint64
 	for off := uint64(pnBase); off+pnWords <= old.Words(); off += pnWords {
@@ -322,6 +357,7 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*Soft, uint64, e
 			}
 		}
 	}
+	s.commit.Commit(t, ncfg.Generation)
 	return s, recovered, nil
 }
 
