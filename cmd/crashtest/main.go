@@ -6,18 +6,37 @@
 //	PREP-Buffered  buffered durable linearizability — the recovered state is
 //	               a per-worker prefix, with at most ε+β−1 completed
 //	               operations lost per crash;
-//	CX-PUC         durable linearizability.
+//	CX-PUC         durable linearizability;
+//	SOFT, ONLL     durable linearizability.
 //
 // Each iteration runs workers inserting per-worker key sequences, freezes
 // the machine at a pseudo-random event (mid-operation: threads are unwound
 // from their next memory access), recovers, and checks the recovered state
 // against the host-side completion record. Background flushes and unfenced
-// write-back coin flips are enabled to make the crash states adversarial.
+// write-back resolution are enabled to make the crash states adversarial.
+//
+// v2 additions:
+//
+//   - -policy selects the fault adversary that decides which
+//     flushed-but-unfenced lines survive each crash (dropall, persistall,
+//     coinflip[=p], targeted[=k]; empty = the substrate's built-in fair
+//     coin). Targeted advances its dropped-line index with the iteration,
+//     so an -iterations run sweeps single-line-missing states.
+//   - -nested N arms a crash INSIDE the recovery run itself for the first N
+//     recovery attempts of every cycle, exercising re-entrant recovery; the
+//     cycle then retries recovery until it completes.
+//   - -crash-at / -nested-at pin the workload and nested crash points, so a
+//     failure reproduces from its printed one-line repro.
+//   - -bisect (on by default) shrinks a failing cycle's crash point by
+//     binary search before printing the repro.
 //
 // Besides the correctness verdicts, every cycle measures how long recovery
-// took in virtual time and how many log entries it replayed; with
-// -format json the run emits one machine-readable document (schema
-// "prepuc-crash/v1") carrying those per-cycle records.
+// took in virtual time, how many log entries it replayed, and what the
+// fault adversary did (lines dropped/persisted at crashes, recovery
+// restarts, replay holes); with -format json the run emits one
+// machine-readable document (schema "prepuc-crash/v2"; all v1 fields are
+// unchanged) carrying those per-cycle records plus an aggregate "fault"
+// block.
 package main
 
 import (
@@ -26,9 +45,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"prepuc/internal/core"
 	"prepuc/internal/cxpuc"
+	"prepuc/internal/fault"
 	"prepuc/internal/history"
 	"prepuc/internal/numa"
 	"prepuc/internal/nvm"
@@ -48,21 +69,47 @@ var (
 	system     = flag.String("system", "all", "prep-durable, prep-buffered, cx, soft, onll or all")
 	format     = flag.String("format", "table", "output format: table or json")
 	outPath    = flag.String("o", "", "write results to this file (default stdout)")
+	policySpec = flag.String("policy", "", "fault policy for unfenced lines at crash: dropall, persistall, coinflip[=p], targeted[=k] (empty: built-in fair coin)")
+	nested     = flag.Int("nested", 0, "nested crashes to inject inside recovery, per cycle")
+	crashAtFlg = flag.Uint64("crash-at", 0, "pin the workload crash to this event index (0: per-iteration pseudo-random)")
+	nestedAt   = flag.Uint64("nested-at", 0, "pin nested crashes to this recovery event index (0: per-attempt pseudo-random)")
+	bisect     = flag.Bool("bisect", true, "on failure, bisect the crash point before printing the repro")
 )
 
 // CrashSchema identifies the machine-readable crashtest output format.
-const CrashSchema = "prepuc-crash/v1"
+const CrashSchema = "prepuc-crash/v2"
 
 // recStats is what one recovery run measured.
 type recStats struct {
-	// RecoveryVirtualNS is the virtual time the recovery procedure took.
+	// RecoveryVirtualNS is the virtual time the (final, successful) recovery
+	// procedure took.
 	RecoveryVirtualNS uint64 `json:"recovery_virtual_ns"`
 	// Replayed is the number of log entries recovery re-applied (zero for
 	// systems whose recovery attaches to persisted state without replay).
 	Replayed uint64 `json:"replayed"`
 }
 
-// crashCycle is one iteration's record in the JSON document.
+// faultStats is what the fault adversary did across one scope (a cycle, or
+// the whole run).
+type faultStats struct {
+	Policy           string `json:"policy"`
+	PendingDropped   uint64 `json:"pending_dropped"`
+	PendingPersisted uint64 `json:"pending_persisted"`
+	RecoveryRestarts uint64 `json:"recovery_restarts"`
+	ReplayHoles      uint64 `json:"replay_holes"`
+	NestedCrashes    uint64 `json:"nested_crashes"`
+}
+
+func (f *faultStats) add(g faultStats) {
+	f.PendingDropped += g.PendingDropped
+	f.PendingPersisted += g.PendingPersisted
+	f.RecoveryRestarts += g.RecoveryRestarts
+	f.ReplayHoles += g.ReplayHoles
+	f.NestedCrashes += g.NestedCrashes
+}
+
+// crashCycle is one iteration's record in the JSON document. The first
+// seven fields are unchanged from schema v1.
 type crashCycle struct {
 	Iteration int    `json:"iteration"`
 	OK        bool   `json:"ok"`
@@ -70,6 +117,9 @@ type crashCycle struct {
 	Recovered uint64 `json:"recovered_ops"`
 	Lost      uint64 `json:"lost_completed"`
 	recStats
+	CrashAt          uint64     `json:"crash_at"`
+	RecoveryAttempts int        `json:"recovery_attempts"`
+	Fault            faultStats `json:"fault"`
 }
 
 // crashSystemDoc groups one system's cycles.
@@ -86,6 +136,8 @@ type crashDoc struct {
 	Epsilon    uint64           `json:"epsilon"`
 	LogSize    uint64           `json:"log_size"`
 	Seed       int64            `json:"seed"`
+	Nested     int              `json:"nested"`
+	Fault      faultStats       `json:"fault"`
 	Systems    []crashSystemDoc `json:"systems"`
 }
 
@@ -93,6 +145,10 @@ func main() {
 	flag.Parse()
 	if *format != "table" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (want table or json)\n", *format)
+		os.Exit(2)
+	}
+	if _, err := fault.Parse(*policySpec, 1); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
 		os.Exit(2)
 	}
 	out := io.Writer(os.Stdout)
@@ -112,59 +168,54 @@ func main() {
 
 	doc := crashDoc{
 		Schema: CrashSchema, Iterations: *iterations, Workers: *workers,
-		Epsilon: *epsilon, LogSize: *logSize, Seed: *seed,
+		Epsilon: *epsilon, LogSize: *logSize, Seed: *seed, Nested: *nested,
+		Fault: faultStats{Policy: policyLabel()},
 	}
 	failures := 0
-	run := func(name string, fn func(iter int) (history.Report, recStats, bool)) {
+	run := func(mk driverMaker) {
+		name := mk().name
 		fmt.Fprintf(progress, "=== %s: %d crash/recover cycles ===\n", name, *iterations)
 		sd := crashSystemDoc{System: name}
 		for i := 0; i < *iterations; i++ {
-			rep, rs, ok := fn(i)
+			crashAt := crashEvent(i)
+			rep, cs, ok := runCycle(mk, i, crashAt)
 			status := "OK "
 			if !ok {
 				status = "FAIL"
 				failures++
 			}
-			fmt.Fprintf(progress, "  [%s] crash %2d: %s replayed=%d recovery=%.3fms(virtual)\n",
-				status, i, rep, rs.Replayed, float64(rs.RecoveryVirtualNS)/1e6)
+			fmt.Fprintf(progress, "  [%s] crash %2d @%-6d: %s replayed=%d attempts=%d nested=%d restarts=%d recovery=%.3fms(virtual)\n",
+				status, i, crashAt, rep, cs.Replayed, cs.RecoveryAttempts,
+				cs.Fault.NestedCrashes, cs.Fault.RecoveryRestarts,
+				float64(cs.RecoveryVirtualNS)/1e6)
+			if !ok {
+				reportFailure(progress, mk, i, crashAt)
+			}
+			doc.Fault.add(cs.Fault)
 			sd.Cycles = append(sd.Cycles, crashCycle{
 				Iteration: i, OK: ok,
 				Completed: rep.Completed, Recovered: rep.Recovered,
-				Lost: rep.LostCompleted, recStats: rs,
+				Lost: rep.LostCompleted, recStats: cs.recStats,
+				CrashAt: crashAt, RecoveryAttempts: cs.RecoveryAttempts,
+				Fault: cs.Fault,
 			})
 		}
 		doc.Systems = append(doc.Systems, sd)
 	}
 	if *system == "all" || *system == "prep-durable" {
-		run("PREP-Durable", func(i int) (history.Report, recStats, bool) {
-			rep, rs := crashPrep(core.Durable, i)
-			return rep, rs, rep.DurableOK()
-		})
+		run(prepDriver(core.Durable))
 	}
 	if *system == "all" || *system == "prep-buffered" {
-		beta := uint64(topo().ThreadsPerNode)
-		run("PREP-Buffered", func(i int) (history.Report, recStats, bool) {
-			rep, rs := crashPrep(core.Buffered, i)
-			return rep, rs, rep.BufferedOK(*epsilon, beta)
-		})
+		run(prepDriver(core.Buffered))
 	}
 	if *system == "all" || *system == "cx" {
-		run("CX-PUC", func(i int) (history.Report, recStats, bool) {
-			rep, rs := crashCX(i)
-			return rep, rs, rep.DurableOK()
-		})
+		run(cxDriver)
 	}
 	if *system == "all" || *system == "soft" {
-		run("SOFT", func(i int) (history.Report, recStats, bool) {
-			rep, rs := crashSOFT(i)
-			return rep, rs, rep.DurableOK()
-		})
+		run(softDriver)
 	}
 	if *system == "all" || *system == "onll" {
-		run("ONLL", func(i int) (history.Report, recStats, bool) {
-			rep, rs := crashONLL(i)
-			return rep, rs, rep.DurableOK()
-		})
+		run(onllDriver)
 	}
 	if *format == "json" {
 		enc := json.NewEncoder(out)
@@ -183,8 +234,212 @@ func main() {
 
 func topo() numa.Topology { return numa.Topology{Nodes: 2, ThreadsPerNode: (*workers + 1) / 2} }
 
-// crashEvent picks the iteration's crash point.
-func crashEvent(iter int) uint64 { return 20_000 + uint64(iter)*37_511%600_000 }
+// policyLabel names the adversary in output ("" would be ambiguous).
+func policyLabel() string {
+	if *policySpec == "" {
+		return "default-coin"
+	}
+	return *policySpec
+}
+
+// cyclePolicy builds a fresh policy value for one cycle's crash lineage (a
+// stateful policy must not be shared across machines). A bare "targeted"
+// advances its starting drop index with the iteration so that successive
+// cycles sweep different single-line-missing states.
+func cyclePolicy(iter int, base int64) fault.Policy {
+	spec := *policySpec
+	if spec == "targeted" {
+		spec = fmt.Sprintf("targeted=%d", iter)
+	}
+	p, err := fault.Parse(spec, uint64(base)+11)
+	if err != nil {
+		panic(err) // spec already validated in main
+	}
+	return p
+}
+
+// crashEvent picks the iteration's workload crash point.
+func crashEvent(iter int) uint64 {
+	if *crashAtFlg != 0 {
+		return *crashAtFlg
+	}
+	return 20_000 + uint64(iter)*37_511%600_000
+}
+
+// nestedEvent picks the recovery event index at which nested crash attempt
+// a of iteration iter fires. The auto placement stays low so it lands
+// inside even short recovery runs; attempts shift so a retried recovery is
+// not killed at the same point forever.
+func nestedEvent(iter, attempt int) uint64 {
+	if *nestedAt != 0 {
+		return *nestedAt + uint64(attempt)*257
+	}
+	return 400 + (uint64(iter)*733+uint64(attempt)*311)%2600
+}
+
+// cycleStats is everything one cycle measured beyond the history report.
+type cycleStats struct {
+	recStats
+	RecoveryAttempts int
+	Fault            faultStats
+}
+
+// driver adapts one construction to the generic crash cycle. boot builds
+// the engine on a fresh system and recov rebuilds it from a recovered
+// system; exec/get dispatch to whichever engine is current.
+type driver struct {
+	name     string
+	offset   int64 // per-system seed offset, disjoint across systems
+	ok       func(history.Report) bool
+	boot     func(t *sim.Thread, sys *nvm.System) error
+	spawnAux func() // spawn auxiliary threads on the workload scheduler; may be nil
+	recov    func(t *sim.Thread, recSys *nvm.System) (replayed uint64, err error)
+	exec     func(t *sim.Thread, tid int, op uc.Op) uint64
+	get      func(t *sim.Thread, key uint64) bool
+}
+
+// driverMaker builds a fresh driver; every cycle (and every bisection
+// probe) gets its own, so no engine state leaks between machines.
+type driverMaker func() *driver
+
+// runCycle executes one boot → workload-crash → recover(×attempts) → probe
+// cycle and checks the recovered state.
+func runCycle(mk driverMaker, iter int, crashAt uint64) (history.Report, cycleStats, bool) {
+	d := mk()
+	base := *seed + int64(iter)*101 + d.offset
+	tp := topo()
+
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+	})
+	sys.SetFaultPolicy(cyclePolicy(iter, base))
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { err = d.boot(t, sys) })
+	bootSch.Run()
+	if err != nil {
+		panic(err)
+	}
+
+	sch := sim.New(base + 1)
+	sch.CrashAtEvent(crashAt)
+	sys.SetScheduler(sch)
+	if d.spawnAux != nil {
+		d.spawnAux()
+	}
+	completed := runInsertWorkers(sch, tp, *workers, d.exec)
+
+	// Recovery loop: the first -nested attempts run with a crash armed
+	// inside the recovery itself; recovery must be re-entrant, so the cycle
+	// keeps recovering until an attempt completes.
+	var cs cycleStats
+	cur := sys
+	for attempt := 0; ; attempt++ {
+		recSch := sim.New(base + 2 + int64(attempt)*17)
+		if attempt < *nested {
+			recSch.CrashAtEvent(nestedEvent(iter, attempt))
+		}
+		cur = cur.Recover(recSch)
+		cs.RecoveryAttempts++
+		recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+			start := t.Clock()
+			cs.Replayed, err = d.recov(t, cur)
+			cs.RecoveryVirtualNS = t.Clock() - start
+		})
+		recSch.Run()
+		if recSch.Frozen() {
+			cs.Fault.NestedCrashes++
+			continue
+		}
+		if err != nil {
+			panic(err)
+		}
+		break
+	}
+
+	keys := probeKeys(cur, base+1000, completed, d.get)
+	ms := cur.Metrics().Snapshot()
+	cs.Fault.Policy = policyLabel()
+	cs.Fault.PendingDropped = ms.CrashLinesDropped
+	cs.Fault.PendingPersisted = ms.CrashLinesPersisted
+	cs.Fault.RecoveryRestarts = ms.RecoveryRestarts
+	cs.Fault.ReplayHoles = ms.ReplayHoles
+	rep := history.Check(keys, completed)
+	return rep, cs, d.ok(rep)
+}
+
+// reportFailure prints a one-line repro for the failing cycle, optionally
+// bisecting the crash point down first. The printed command re-runs exactly
+// this machine: iteration 0 with the adjusted -seed reproduces the failing
+// iteration's seed stream, -crash-at pins the crash.
+func reportFailure(w io.Writer, mk driverMaker, iter int, crashAt uint64) {
+	at := crashAt
+	if *bisect {
+		at = bisectCrash(w, mk, iter, crashAt)
+	}
+	d := mk()
+	args := []string{
+		fmt.Sprintf("-system=%s", systemFlagOf(d.name)),
+		"-iterations=1",
+		fmt.Sprintf("-workers=%d", *workers),
+		fmt.Sprintf("-epsilon=%d", *epsilon),
+		fmt.Sprintf("-log=%d", *logSize),
+		fmt.Sprintf("-seed=%d", *seed+int64(iter)*101),
+		fmt.Sprintf("-crash-at=%d", at),
+	}
+	if *policySpec != "" {
+		spec := *policySpec
+		if spec == "targeted" {
+			spec = fmt.Sprintf("targeted=%d", iter)
+		}
+		args = append(args, fmt.Sprintf("-policy=%s", spec))
+	}
+	if *nested > 0 {
+		na := *nestedAt
+		if na == 0 {
+			na = nestedEvent(iter, 0)
+		}
+		args = append(args, fmt.Sprintf("-nested=%d", *nested), fmt.Sprintf("-nested-at=%d", na))
+	}
+	fmt.Fprintf(w, "       repro: crashtest %s\n", strings.Join(args, " "))
+}
+
+// bisectCrash binary-searches the smallest failing crash point below the
+// observed failure, assuming (best-effort) that the failure boundary is
+// monotone between a passing low point and the failing high point.
+func bisectCrash(w io.Writer, mk driverMaker, iter int, failAt uint64) uint64 {
+	lo, hi := uint64(64), failAt // crash during boot replay is uninteresting
+	if _, _, ok := runCycle(mk, iter, lo); !ok {
+		return lo
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if _, _, ok := runCycle(mk, iter, mid); ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	fmt.Fprintf(w, "       bisect: crash point shrunk %d -> %d\n", failAt, hi)
+	return hi
+}
+
+// systemFlagOf maps a display name back to its -system spelling.
+func systemFlagOf(name string) string {
+	switch name {
+	case "PREP-Durable":
+		return "prep-durable"
+	case "PREP-Buffered":
+		return "prep-buffered"
+	case "CX-PUC":
+		return "cx"
+	case "SOFT":
+		return "soft"
+	case "ONLL":
+		return "onll"
+	}
+	return name
+}
 
 // runInsertWorkers drives per-worker key insertions until the crash.
 func runInsertWorkers(sch *sim.Scheduler, tp numa.Topology, n int,
@@ -227,172 +482,122 @@ func probeKeys(recSys *nvm.System, seed int64, completed []uint64,
 	return keys
 }
 
-func crashPrep(mode core.Mode, iter int) (history.Report, recStats) {
-	tp := topo()
-	base := *seed + int64(iter)*101
-	cfg := core.Config{
-		Mode: mode, Topology: tp, Workers: *workers,
-		LogSize: *logSize, Epsilon: *epsilon,
-		Factory:   seq.HashMapFactory(256),
-		Attacher:  seq.HashMapAttacher,
-		HeapWords: 1 << 21,
+func prepDriver(mode core.Mode) driverMaker {
+	return func() *driver {
+		name := "PREP-Durable"
+		okFn := history.Report.DurableOK
+		if mode == core.Buffered {
+			name = "PREP-Buffered"
+			beta := uint64(topo().ThreadsPerNode)
+			okFn = func(r history.Report) bool { return r.BufferedOK(*epsilon, beta) }
+		}
+		cfg := core.Config{
+			Mode: mode, Topology: topo(), Workers: *workers,
+			LogSize: *logSize, Epsilon: *epsilon,
+			Factory:   seq.HashMapFactory(256),
+			Attacher:  seq.HashMapAttacher,
+			HeapWords: 1 << 21,
+		}
+		d := &driver{name: name, offset: 0, ok: okFn}
+		var cur *core.PREP
+		d.boot = func(t *sim.Thread, sys *nvm.System) error {
+			p, err := core.New(t, sys, cfg)
+			if err != nil {
+				return err
+			}
+			cur = p
+			d.spawnAux = func() { p.SpawnPersistence(0) }
+			return nil
+		}
+		d.recov = func(t *sim.Thread, recSys *nvm.System) (uint64, error) {
+			rec, report, err := core.Recover(t, recSys, cfg)
+			if err != nil {
+				return 0, err
+			}
+			cur = rec
+			return report.Replayed, nil
+		}
+		d.exec = func(t *sim.Thread, tid int, op uc.Op) uint64 { return cur.Execute(t, tid, op) }
+		d.get = func(t *sim.Thread, key uint64) bool {
+			return cur.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+		}
+		return d
 	}
-	bootSch := sim.New(base)
-	sys := nvm.NewSystem(bootSch, nvm.Config{
-		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
-	})
-	var p *core.PREP
-	var err error
-	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { p, err = core.New(t, sys, cfg) })
-	bootSch.Run()
-	if err != nil {
-		panic(err)
-	}
-
-	sch := sim.New(base + 1)
-	sch.CrashAtEvent(crashEvent(iter))
-	sys.SetScheduler(sch)
-	p.SpawnPersistence(0)
-	completed := runInsertWorkers(sch, tp, *workers, p.Execute)
-
-	recSch := sim.New(base + 2)
-	recSys := sys.Recover(recSch)
-	var rec *core.PREP
-	var report *core.RecoveryReport
-	var rs recStats
-	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
-		start := t.Clock()
-		rec, report, err = core.Recover(t, recSys, cfg)
-		rs.RecoveryVirtualNS = t.Clock() - start
-	})
-	recSch.Run()
-	if err != nil {
-		panic(err)
-	}
-	rs.Replayed = report.Replayed
-	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
-		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
-	})
-	return history.Check(keys, completed), rs
 }
 
-func crashSOFT(iter int) (history.Report, recStats) {
-	tp := topo()
-	base := *seed + int64(iter)*107 + 90_000
-	cfg := soft.Config{Buckets: 512, VolatileWords: 1 << 20, PersistentWords: 1 << 20}
-	bootSch := sim.New(base)
-	sys := nvm.NewSystem(bootSch, nvm.Config{
-		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
-	})
-	var s *soft.Soft
-	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { s = soft.New(t, sys, cfg) })
-	bootSch.Run()
-
-	sch := sim.New(base + 1)
-	sch.CrashAtEvent(crashEvent(iter))
-	sys.SetScheduler(sch)
-	completed := runInsertWorkers(sch, tp, *workers, s.Execute)
-
-	recSch := sim.New(base + 2)
-	recSys := sys.Recover(recSch)
-	var rec *soft.Soft
-	var rs recStats
-	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
-		start := t.Clock()
-		rec, rs.Replayed, _ = soft.Recover(t, recSys, cfg)
-		rs.RecoveryVirtualNS = t.Clock() - start
-	})
-	recSch.Run()
-	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
-		return rec.Get(t, key) != uc.NotFound
-	})
-	return history.Check(keys, completed), rs
-}
-
-func crashONLL(iter int) (history.Report, recStats) {
-	tp := topo()
-	base := *seed + int64(iter)*109 + 130_000
-	cfg := onll.Config{
-		Workers: *workers, Factory: seq.HashMapFactory(256),
-		HeapWords: 1 << 21, LogEntries: 1 << 13,
-	}
-	bootSch := sim.New(base)
-	sys := nvm.NewSystem(bootSch, nvm.Config{
-		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
-	})
-	var o *onll.ONLL
-	var err error
-	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { o, err = onll.New(t, sys, cfg) })
-	bootSch.Run()
-	if err != nil {
-		panic(err)
-	}
-
-	sch := sim.New(base + 1)
-	sch.CrashAtEvent(crashEvent(iter))
-	sys.SetScheduler(sch)
-	completed := runInsertWorkers(sch, tp, *workers, o.Execute)
-
-	recSch := sim.New(base + 2)
-	recSys := sys.Recover(recSch)
-	var rec *onll.ONLL
-	var rs recStats
-	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
-		start := t.Clock()
-		rec, rs.Replayed, err = onll.Recover(t, recSys, cfg)
-		rs.RecoveryVirtualNS = t.Clock() - start
-	})
-	recSch.Run()
-	if err != nil {
-		panic(err)
-	}
-	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
-		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
-	})
-	return history.Check(keys, completed), rs
-}
-
-func crashCX(iter int) (history.Report, recStats) {
-	tp := topo()
-	base := *seed + int64(iter)*103 + 50_000
+func cxDriver() *driver {
 	cfg := cxpuc.Config{
 		Workers:   *workers,
 		Factory:   seq.HashMapFactory(256),
 		Attacher:  seq.HashMapAttacher,
 		HeapWords: 1 << 20, QueueCapacity: 1 << 18, CapReplicas: 8,
 	}
-	bootSch := sim.New(base)
-	sys := nvm.NewSystem(bootSch, nvm.Config{
-		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
-	})
-	var cx *cxpuc.CX
-	var err error
-	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { cx, err = cxpuc.New(t, sys, cfg) })
-	bootSch.Run()
-	if err != nil {
-		panic(err)
+	d := &driver{name: "CX-PUC", offset: 50_000, ok: history.Report.DurableOK}
+	var cur *cxpuc.CX
+	d.boot = func(t *sim.Thread, sys *nvm.System) error {
+		cx, err := cxpuc.New(t, sys, cfg)
+		cur = cx
+		return err
 	}
-
-	sch := sim.New(base + 1)
-	sch.CrashAtEvent(crashEvent(iter))
-	sys.SetScheduler(sch)
-	completed := runInsertWorkers(sch, tp, *workers, cx.Execute)
-
-	recSch := sim.New(base + 2)
-	recSys := sys.Recover(recSch)
-	var rec *cxpuc.CX
-	var rs recStats
-	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
-		start := t.Clock()
-		rec, err = cxpuc.Recover(t, recSys, cfg)
-		rs.RecoveryVirtualNS = t.Clock() - start
-	})
-	recSch.Run()
-	if err != nil {
-		panic(err)
+	d.recov = func(t *sim.Thread, recSys *nvm.System) (uint64, error) {
+		rec, err := cxpuc.Recover(t, recSys, cfg)
+		if err != nil {
+			return 0, err
+		}
+		cur = rec
+		return 0, nil
 	}
-	keys := probeKeys(recSys, base+3, completed, func(t *sim.Thread, key uint64) bool {
-		return rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
-	})
-	return history.Check(keys, completed), rs
+	d.exec = func(t *sim.Thread, tid int, op uc.Op) uint64 { return cur.Execute(t, tid, op) }
+	d.get = func(t *sim.Thread, key uint64) bool {
+		return cur.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+	}
+	return d
+}
+
+func softDriver() *driver {
+	cfg := soft.Config{Buckets: 512, VolatileWords: 1 << 20, PersistentWords: 1 << 20}
+	d := &driver{name: "SOFT", offset: 90_000, ok: history.Report.DurableOK}
+	var cur *soft.Soft
+	d.boot = func(t *sim.Thread, sys *nvm.System) error {
+		cur = soft.New(t, sys, cfg)
+		return nil
+	}
+	d.recov = func(t *sim.Thread, recSys *nvm.System) (uint64, error) {
+		rec, replayed, err := soft.Recover(t, recSys, cfg)
+		if err != nil {
+			return 0, err
+		}
+		cur = rec
+		return replayed, nil
+	}
+	d.exec = func(t *sim.Thread, tid int, op uc.Op) uint64 { return cur.Execute(t, tid, op) }
+	d.get = func(t *sim.Thread, key uint64) bool { return cur.Get(t, key) != uc.NotFound }
+	return d
+}
+
+func onllDriver() *driver {
+	cfg := onll.Config{
+		Workers: *workers, Factory: seq.HashMapFactory(256),
+		HeapWords: 1 << 21, LogEntries: 1 << 13,
+	}
+	d := &driver{name: "ONLL", offset: 130_000, ok: history.Report.DurableOK}
+	var cur *onll.ONLL
+	d.boot = func(t *sim.Thread, sys *nvm.System) error {
+		o, err := onll.New(t, sys, cfg)
+		cur = o
+		return err
+	}
+	d.recov = func(t *sim.Thread, recSys *nvm.System) (uint64, error) {
+		rec, replayed, err := onll.Recover(t, recSys, cfg)
+		if err != nil {
+			return 0, err
+		}
+		cur = rec
+		return replayed, nil
+	}
+	d.exec = func(t *sim.Thread, tid int, op uc.Op) uint64 { return cur.Execute(t, tid, op) }
+	d.get = func(t *sim.Thread, key uint64) bool {
+		return cur.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+	}
+	return d
 }

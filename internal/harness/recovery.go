@@ -21,6 +21,11 @@ type RecoveryPoint struct {
 	UpdatesRun uint64 `json:"updates_run"`
 	Replayed   uint64 `json:"replayed"`
 	VirtualNS  uint64 `json:"recovery_virtual_ns"`
+	// Restarts counts partially built generations the (re-entrant) recovery
+	// skipped; Holes counts not-fully-persisted log entries below the
+	// completed tail it stepped over. Both are zero on a clean single crash.
+	Restarts uint64 `json:"recovery_restarts"`
+	Holes    uint64 `json:"replay_holes"`
 }
 
 // RunRecoveryExperiment contrasts checkpoint-based recovery (PREP-Durable:
@@ -83,9 +88,11 @@ func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) ([]RecoveryPoint, 
 		if err != nil {
 			return nil, fmt.Errorf("harness: recovery: PREP-Durable e=%d: recover: %w", eps, err)
 		}
+		ms := recSys.Metrics().Snapshot()
 		pt := RecoveryPoint{
 			System: "PREP-Durable", Param: fmt.Sprintf("e=%d", eps),
 			UpdatesRun: updates, Replayed: report.Replayed, VirtualNS: recNS,
+			Restarts: ms.RecoveryRestarts, Holes: ms.ReplayHoles,
 		}
 		points = append(points, pt)
 		if w != nil {
@@ -132,9 +139,11 @@ func RunRecoveryExperiment(sc Scale, seed int64, w io.Writer) ([]RecoveryPoint, 
 		if err != nil {
 			return nil, fmt.Errorf("harness: recovery: ONLL hist=%d: recover: %w", hist, err)
 		}
+		ms := recSys.Metrics().Snapshot()
 		pt := RecoveryPoint{
 			System: "ONLL", Param: fmt.Sprintf("hist=%d", hist),
 			UpdatesRun: hist, Replayed: replayed, VirtualNS: recNS,
+			Restarts: ms.RecoveryRestarts, Holes: ms.ReplayHoles,
 		}
 		points = append(points, pt)
 		if w != nil {
