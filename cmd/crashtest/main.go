@@ -29,6 +29,10 @@
 //     failure reproduces from its printed one-line repro.
 //   - -bisect (on by default) shrinks a failing cycle's crash point by
 //     binary search before printing the repro.
+//   - -j N fans a system's cycles out across N workers (default GOMAXPROCS;
+//     each cycle owns a private simulator); the document and the progress
+//     stream are identical for every -j value. -cpuprofile/-memprofile
+//     write standard pprof profiles.
 //
 // Besides the correctness verdicts, every cycle measures how long recovery
 // took in virtual time, how many log entries it replayed, and what the
@@ -40,6 +44,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,6 +59,8 @@ import (
 	"prepuc/internal/numa"
 	"prepuc/internal/nvm"
 	"prepuc/internal/onll"
+	"prepuc/internal/par"
+	"prepuc/internal/prof"
 	"prepuc/internal/seq"
 	"prepuc/internal/sim"
 	"prepuc/internal/soft"
@@ -74,6 +81,9 @@ var (
 	crashAtFlg = flag.Uint64("crash-at", 0, "pin the workload crash to this event index (0: per-iteration pseudo-random)")
 	nestedAt   = flag.Uint64("nested-at", 0, "pin nested crashes to this recovery event index (0: per-attempt pseudo-random)")
 	bisect     = flag.Bool("bisect", true, "on failure, bisect the crash point before printing the repro")
+	jobs       = flag.Int("j", 0, "run up to N crash/recover cycles in parallel (0 = GOMAXPROCS)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 )
 
 // CrashSchema identifies the machine-readable crashtest output format.
@@ -151,6 +161,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+		os.Exit(1)
+	}
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -172,33 +187,48 @@ func main() {
 		Fault: faultStats{Policy: policyLabel()},
 	}
 	failures := 0
+	// Each cycle builds its machine from scratch on a private scheduler, so
+	// cycles of one system fan out across jobs workers; per-cycle records are
+	// slotted by iteration index and the progress lines (including any
+	// bisected failure repro, which re-runs cycles inside the worker) are
+	// buffered and released in iteration order, making both the document and
+	// the output identical for every -j value.
 	run := func(mk driverMaker) {
 		name := mk().name
 		fmt.Fprintf(progress, "=== %s: %d crash/recover cycles ===\n", name, *iterations)
 		sd := crashSystemDoc{System: name}
-		for i := 0; i < *iterations; i++ {
+		cycles := make([]crashCycle, *iterations)
+		var seqOut par.Seq
+		par.Do(par.Jobs(*jobs), *iterations, func(i int) {
 			crashAt := crashEvent(i)
 			rep, cs, ok := runCycle(mk, i, crashAt)
+			var buf bytes.Buffer
 			status := "OK "
 			if !ok {
 				status = "FAIL"
-				failures++
 			}
-			fmt.Fprintf(progress, "  [%s] crash %2d @%-6d: %s replayed=%d attempts=%d nested=%d restarts=%d recovery=%.3fms(virtual)\n",
+			fmt.Fprintf(&buf, "  [%s] crash %2d @%-6d: %s replayed=%d attempts=%d nested=%d restarts=%d recovery=%.3fms(virtual)\n",
 				status, i, crashAt, rep, cs.Replayed, cs.RecoveryAttempts,
 				cs.Fault.NestedCrashes, cs.Fault.RecoveryRestarts,
 				float64(cs.RecoveryVirtualNS)/1e6)
 			if !ok {
-				reportFailure(progress, mk, i, crashAt)
+				reportFailure(&buf, mk, i, crashAt)
 			}
-			doc.Fault.add(cs.Fault)
-			sd.Cycles = append(sd.Cycles, crashCycle{
+			cycles[i] = crashCycle{
 				Iteration: i, OK: ok,
 				Completed: rep.Completed, Recovered: rep.Recovered,
 				Lost: rep.LostCompleted, recStats: cs.recStats,
 				CrashAt: crashAt, RecoveryAttempts: cs.RecoveryAttempts,
 				Fault: cs.Fault,
-			})
+			}
+			seqOut.Done(i, func() { progress.Write(buf.Bytes()) })
+		})
+		for _, c := range cycles {
+			if !c.OK {
+				failures++
+			}
+			doc.Fault.add(c.Fault)
+			sd.Cycles = append(sd.Cycles, c)
 		}
 		doc.Systems = append(doc.Systems, sd)
 	}
@@ -216,6 +246,11 @@ func main() {
 	}
 	if *system == "all" || *system == "onll" {
 		run(onllDriver)
+	}
+	// Stop profiling before the exit paths below; os.Exit skips defers.
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+		os.Exit(1)
 	}
 	if *format == "json" {
 		enc := json.NewEncoder(out)

@@ -3,7 +3,13 @@
 // Usage:
 //
 //	prepbench [-scale tiny|small|paper] [-experiment fig2a,fig3|all] [-seed N]
-//	          [-format table|json] [-o FILE] [-list]
+//	          [-format table|json] [-o FILE] [-j N] [-list]
+//	          [-cpuprofile FILE] [-memprofile FILE]
+//
+// Every experiment cell (algo × thread-count) owns an independent simulator,
+// so -j N runs up to N cells on real CPUs in parallel (default GOMAXPROCS);
+// results and progress are emitted in cell order, so the output is
+// bit-identical for every -j value.
 //
 // With -format table (the default) each experiment prints one table: thread
 // counts down the rows, one throughput column (ops per virtual second) per
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"prepuc/internal/harness"
+	"prepuc/internal/prof"
 )
 
 func main() {
@@ -34,14 +41,27 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
 	expList := flag.String("experiment", "all", "comma-separated figure IDs, or 'all'")
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	format := flag.String("format", "table", "output format: table or json")
 	outPath := flag.String("o", "", "write results to this file (default stdout)")
+	jobs := flag.Int("j", 0, "run up to N experiment cells in parallel (0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	var sc harness.Scale
 	switch *scaleName {
@@ -108,7 +128,7 @@ func run() error {
 		start := time.Now()
 		if id == "ext-recovery" {
 			fmt.Fprintf(progress, "\n=== ext-recovery: recovery time, checkpointing (PREP) vs log replay (ONLL) ===\n")
-			points, err := harness.RunRecoveryExperiment(sc, *seed, progress)
+			points, err := harness.RunRecoveryExperiment(sc, *seed, *jobs, progress)
 			if err != nil {
 				return err
 			}
@@ -118,7 +138,7 @@ func run() error {
 		}
 		fig := figs[id]
 		fmt.Fprintf(progress, "\n=== %s: %s ===\n", fig.ID, fig.Title)
-		points, err := harness.RunFigure(fig, sc, *seed, progress)
+		points, err := harness.RunFigure(fig, sc, *seed, *jobs, progress)
 		if err != nil {
 			return err
 		}

@@ -76,6 +76,9 @@ type replica struct {
 	// flusher is used only while holding the combiner lock (durable mode),
 	// so it is effectively thread-exclusive.
 	flusher *nvm.Flusher
+	// batchScratch backs the combiner's batch slice; like flusher it is only
+	// touched under the combiner lock, so one buffer per replica suffices.
+	batchScratch []int
 }
 
 func (r *replica) localTail(t *sim.Thread) uint64 { return r.ctrl.Load(t, ctrlLocalTail) }
@@ -171,6 +174,7 @@ func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
 			ctrl:      sys.NewMemory(cfg.memName(fmt.Sprintf("rctrl%d", node)), nvm.Volatile, node, slotsBase+p.beta*slotWords),
 			slotsBase: slotsBase,
 		}
+		r.batchScratch = make([]int, 0, p.beta) // a batch holds at most β slots
 		r.combiner = locks.NewTryLock(r.ctrl, ctrlCombiner)
 		r.rw = locks.NewDistRWLock(r.ctrl, ctrlRW, int(p.beta))
 		if cfg.Mode == Durable {
@@ -376,8 +380,9 @@ func (p *PREP) catchUp(t *sim.Thread, rep *replica, upTo uint64) {
 // localTail to move past the reuse horizon — without incremental progress
 // the two would deadlock.
 func (p *PREP) applyLog(t *sim.Thread, ds uc.DataStructure, from, to uint64, f *nvm.Flusher, progress func(uint64)) {
+	var b backoff
 	for idx := from; idx < to; idx++ {
-		var b backoff
+		b.reset() // each entry restarts the truncated-exponential ladder
 		for !p.log.IsFull(t, idx) {
 			b.spin(t, 512)
 		}
@@ -429,8 +434,9 @@ func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
 	f := rep.flusher // nil outside durable mode
 
 	// Collect the batch: every pending slot on this node (or just ours under
-	// the no-batching ablation).
-	var batch []int
+	// the no-batching ablation). The scratch buffer is combiner-lock
+	// protected, so reusing it allocates only on the first combine.
+	batch := rep.batchScratch[:0]
 	if p.cfg.NoBatching {
 		batch = append(batch, mySlot)
 	} else {
@@ -440,6 +446,7 @@ func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
 			}
 		}
 	}
+	rep.batchScratch = batch // keep any growth for the next combiner
 	num := uint64(len(batch))
 	p.met.ObserveBatch(num)
 

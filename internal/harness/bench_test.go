@@ -13,7 +13,7 @@ import (
 func TestBenchJSONSchema(t *testing.T) {
 	sc := TinyScale()
 	fig := Catalog(sc)["fig1a"]
-	points, err := RunFigure(fig, sc, 1, nil)
+	points, err := RunFigure(fig, sc, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

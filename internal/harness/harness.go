@@ -13,6 +13,7 @@ import (
 
 	"prepuc/internal/metrics"
 	"prepuc/internal/nvm"
+	"prepuc/internal/par"
 	"prepuc/internal/sim"
 	"prepuc/internal/uc"
 	"prepuc/internal/workload"
@@ -68,23 +69,43 @@ type Figure struct {
 }
 
 // RunFigure measures every (algo, thread-count) pair of the figure and
-// returns the points. Progress lines go to w when non-nil. A build failure
-// aborts the figure and is returned (with the failing algo and thread count
-// wrapped in) rather than panicking, so callers can exit cleanly.
-func RunFigure(fig Figure, sc Scale, seed int64, w io.Writer) ([]Point, error) {
-	var points []Point
+// returns the points. Each cell owns a private scheduler and nvm.System, so
+// up to jobs cells run concurrently (jobs <= 0 selects GOMAXPROCS); results
+// are slotted by cell index and progress lines are released in cell order,
+// so the points and the output are identical for every jobs value.
+// Progress lines go to w when non-nil. A build failure is reported for the
+// lowest-index failing cell (with the failing algo and thread count wrapped
+// in) rather than panicking, so callers can exit cleanly.
+func RunFigure(fig Figure, sc Scale, seed int64, jobs int, w io.Writer) ([]Point, error) {
+	type cell struct {
+		algo    AlgoSpec
+		threads int
+	}
+	var cells []cell
 	for _, algo := range fig.Algos {
 		for _, threads := range sc.Threads {
-			p, err := runPoint(fig, sc, algo, threads, seed)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s: %s threads=%d: %w",
-					fig.ID, algo.Name, threads, err)
+			cells = append(cells, cell{algo, threads})
+		}
+	}
+	points := make([]Point, len(cells))
+	errs := make([]error, len(cells))
+	var seq par.Seq
+	par.Do(par.Jobs(jobs), len(cells), func(i int) {
+		c := cells[i]
+		p, err := runPoint(fig, sc, c.algo, c.threads, seed)
+		points[i], errs[i] = p, err
+		seq.Done(i, func() {
+			if w == nil || err != nil {
+				return
 			}
-			points = append(points, p)
-			if w != nil {
-				fmt.Fprintf(w, "  %-22s threads=%-3d ops=%-10d %12.0f ops/s\n",
-					algo.Name, threads, p.Ops, p.OpsPerSec)
-			}
+			fmt.Fprintf(w, "  %-22s threads=%-3d ops=%-10d %12.0f ops/s\n",
+				c.algo.Name, c.threads, p.Ops, p.OpsPerSec)
+		})
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %s threads=%d: %w",
+				fig.ID, cells[i].algo.Name, cells[i].threads, err)
 		}
 	}
 	return points, nil

@@ -33,7 +33,7 @@ func TestRunPointProducesOps(t *testing.T) {
 	figs := Catalog(sc)
 	for _, id := range []string{"fig1a", "fig2a", "fig5a", "fig6a"} {
 		fig := figs[id]
-		points, err := RunFigure(fig, sc, 1, nil)
+		points, err := RunFigure(fig, sc, 1, 1, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -54,8 +54,8 @@ func TestRunPointProducesOps(t *testing.T) {
 func TestRunFigureDeterministic(t *testing.T) {
 	sc := TinyScale()
 	fig := Catalog(sc)["fig1a"]
-	a, errA := RunFigure(fig, sc, 42, nil)
-	b, errB := RunFigure(fig, sc, 42, nil)
+	a, errA := RunFigure(fig, sc, 42, 1, nil)
+	b, errB := RunFigure(fig, sc, 42, 1, nil)
 	if errA != nil || errB != nil {
 		t.Fatalf("RunFigure: %v / %v", errA, errB)
 	}
@@ -69,7 +69,7 @@ func TestRunFigureDeterministic(t *testing.T) {
 func TestWriteTable(t *testing.T) {
 	sc := TinyScale()
 	fig := Catalog(sc)["fig1a"]
-	points, err := RunFigure(fig, sc, 3, nil)
+	points, err := RunFigure(fig, sc, 3, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

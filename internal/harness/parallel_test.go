@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"prepuc/internal/sim"
+)
+
+// TestRunAheadEquivalenceFig1a runs fig1a cells with the scheduler's
+// run-ahead fast path on and off and requires identical points — ops,
+// throughput, and the full metrics snapshot (every counter is charged at a
+// virtual-time point, so any schedule divergence shows up here).
+func TestRunAheadEquivalenceFig1a(t *testing.T) {
+	defer func(v bool) { sim.DefaultRunAhead = v }(sim.DefaultRunAhead)
+	sc := TinyScale()
+	fig := Catalog(sc)["fig1a"]
+
+	sim.DefaultRunAhead = true
+	on, err := RunFigure(fig, sc, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.DefaultRunAhead = false
+	off, err := RunFigure(fig, sc, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on) != len(off) {
+		t.Fatalf("point counts differ: %d vs %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Errorf("point %d diverges with run-ahead:\n  on:  %+v\n  off: %+v", i, on[i], off[i])
+		}
+	}
+}
+
+// TestParallelJobsIdenticalJSON renders the same sweep (a figure plus the
+// recovery experiment) through 1 and 8 workers and requires byte-identical
+// JSON documents: parallelism must not leak into results or their order.
+func TestParallelJobsIdenticalJSON(t *testing.T) {
+	sc := TinyScale()
+	fig := Catalog(sc)["fig1a"]
+	docFor := func(jobs int) []byte {
+		points, err := RunFigure(fig, sc, 1, jobs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := RunRecoveryExperiment(sc, 1, jobs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := NewBenchDoc(sc, 1)
+		doc.AddFigure(fig, points)
+		doc.AddRecovery(rec)
+		var buf bytes.Buffer
+		if err := doc.WriteBenchJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := docFor(1)
+	parallel := docFor(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("-j 1 and -j 8 documents differ:\n-j1: %d bytes\n-j8: %d bytes", len(serial), len(parallel))
+	}
+}
+
+// TestParallelProgressOrdered checks the ordered-release progress stream: a
+// parallel run must print exactly the lines a serial run prints, in the
+// same order.
+func TestParallelProgressOrdered(t *testing.T) {
+	sc := TinyScale()
+	fig := Catalog(sc)["fig1a"]
+	var serial, parallel bytes.Buffer
+	if _, err := RunFigure(fig, sc, 1, 1, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFigure(fig, sc, 1, 8, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("progress output differs:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}

@@ -1,0 +1,20 @@
+package harness
+
+import "testing"
+
+// BenchmarkFig1aCell runs one fig1a experiment cell (PREP-V, 8 workers,
+// small-scale duration) end to end: boot, prefill, measure. It is the
+// harness-level wall-clock benchmark recorded in BENCH_wallclock.json, and
+// its allocs/op is how the combiner batch-scratch and flusher-dedup reuse
+// are held in place.
+func BenchmarkFig1aCell(b *testing.B) {
+	b.ReportAllocs()
+	sc := SmallScale()
+	fig := Catalog(sc)["fig1a"]
+	algo := fig.Algos[0]
+	for i := 0; i < b.N; i++ {
+		if _, err := runPoint(fig, sc, algo, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

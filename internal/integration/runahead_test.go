@@ -1,0 +1,121 @@
+package integration
+
+import (
+	"reflect"
+	"testing"
+
+	"prepuc/internal/core"
+	"prepuc/internal/history"
+	"prepuc/internal/metrics"
+	"prepuc/internal/nvm"
+	"prepuc/internal/seq"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// cycleTrace is everything one crash/recover cycle observed that could
+// betray a schedule difference: per-worker completion counts, the event
+// counts of every scheduler phase, the recovered-system metrics, and the
+// key-by-key probe of the recovered state.
+type cycleTrace struct {
+	completed  []uint64
+	workEvents uint64
+	recEvents  uint64
+	metrics    metrics.Snapshot
+	keys       [][]bool
+}
+
+// runCrashCycle is a crashtest cycle in miniature: boot PREP-Durable, crash
+// the insert workload at a fixed event index, recover, probe.
+func runCrashCycle(t *testing.T, crashAt uint64) cycleTrace {
+	t.Helper()
+	const workers = 8
+	cfg := core.Config{
+		Mode: core.Durable, Topology: topo(), Workers: workers,
+		LogSize: 128, Epsilon: 32,
+		Factory: seq.HashMapFactory(64), Attacher: seq.HashMapAttacher,
+		HeapWords: 1 << 20,
+	}
+	bootSch := sim.New(11)
+	ns := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 200, Seed: 13,
+	})
+	var p *core.PREP
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(th *sim.Thread) { p, err = core.New(th, ns, cfg) })
+	bootSch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sch := sim.New(12)
+	sch.CrashAtEvent(crashAt)
+	ns.SetScheduler(sch)
+	p.SpawnPersistence(0)
+	tr := cycleTrace{completed: make([]uint64, workers)}
+	for tid := 0; tid < workers; tid++ {
+		tid := tid
+		sch.Spawn("w", topo().NodeOf(tid), 0, func(th *sim.Thread) {
+			defer func() {
+				if r := recover(); r != nil && !sim.Crashed(r) {
+					panic(r)
+				}
+			}()
+			for i := uint64(0); ; i++ {
+				p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				tr.completed[tid] = i + 1
+			}
+		})
+	}
+	sch.Run()
+	if !sch.Frozen() {
+		t.Fatalf("crashAt=%d did not crash", crashAt)
+	}
+	tr.workEvents = sch.Events()
+
+	recSch := sim.New(13)
+	recSys := ns.Recover(recSch)
+	var rec *core.PREP
+	recSch.Spawn("rec", 0, 0, func(th *sim.Thread) {
+		rec, _, err = core.Recover(th, recSys, cfg)
+	})
+	recSch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.recEvents = recSch.Events()
+	tr.metrics = recSys.Metrics().Snapshot()
+
+	tr.keys = make([][]bool, workers)
+	chkSch := sim.New(14)
+	recSys.SetScheduler(chkSch)
+	chkSch.Spawn("probe", 0, 0, func(th *sim.Thread) {
+		for tid := 0; tid < workers; tid++ {
+			n := tr.completed[tid] + 16
+			tr.keys[tid] = make([]bool, n)
+			for i := uint64(0); i < n; i++ {
+				tr.keys[tid][i] = rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)}) != uc.NotFound
+			}
+		}
+	})
+	chkSch.Run()
+	return tr
+}
+
+// TestRunAheadEquivalenceCrashCycle runs the identical crash/recover cycle
+// with the run-ahead fast path on and off. The crash lands mid-schedule, so
+// any divergence in dispatch order changes which operations completed, what
+// recovery replays, and every virtual-time-charged counter — all of which
+// must match exactly.
+func TestRunAheadEquivalenceCrashCycle(t *testing.T) {
+	defer func(v bool) { sim.DefaultRunAhead = v }(sim.DefaultRunAhead)
+	for _, crashAt := range []uint64{5_000, 60_000, 155_000} {
+		sim.DefaultRunAhead = true
+		on := runCrashCycle(t, crashAt)
+		sim.DefaultRunAhead = false
+		off := runCrashCycle(t, crashAt)
+		if !reflect.DeepEqual(on, off) {
+			t.Errorf("crashAt=%d: cycle diverges with run-ahead:\n  on:  %+v\n  off: %+v", crashAt, on, off)
+		}
+	}
+}

@@ -136,11 +136,11 @@ func (s *System) Clone(sch *sim.Scheduler) *System {
 		ns.order = append(ns.order, nm)
 	}
 	for _, f := range s.flushers {
-		nf := &Flusher{sys: ns, seen: make(map[pendingFlush]struct{})}
+		nf := &Flusher{sys: ns, seen: make(map[pendingFlush]uint64, len(f.pending)), gen: 1}
 		for _, p := range f.pending {
 			np := pendingFlush{ns.mems[p.m.name], p.line}
 			nf.pending = append(nf.pending, np)
-			nf.seen[np] = struct{}{}
+			nf.seen[np] = nf.gen
 		}
 		ns.flushers = append(ns.flushers, nf)
 	}

@@ -12,15 +12,26 @@ type pendingFlush struct {
 // write-backs. CLWB/CLFLUSHOPT order only against a subsequent SFENCE on the
 // same thread, so each simulated thread owns a Flusher; lines it has flushed
 // but not fenced are in an undefined persistence state if a crash hits.
+//
+// seen dedups FliT-style: a line already tracked in the current fence epoch
+// is not tracked again. Entries are generation-stamped — an entry belongs to
+// the current epoch iff its value equals gen — so Fence invalidates the
+// whole set by incrementing gen instead of clearing the map.
 type Flusher struct {
 	sys     *System
 	pending []pendingFlush
-	seen    map[pendingFlush]struct{}
+	seen    map[pendingFlush]uint64
+	gen     uint64
 }
 
 // NewFlusher creates a per-thread flusher registered for crash accounting.
 func (s *System) NewFlusher() *Flusher {
-	f := &Flusher{sys: s, seen: make(map[pendingFlush]struct{})}
+	f := &Flusher{
+		sys:     s,
+		pending: make([]pendingFlush, 0, 32),
+		seen:    make(map[pendingFlush]uint64, 32),
+		gen:     1, // zero-value map entries must never match the epoch
+	}
 	s.flushers = append(s.flushers, f)
 	return f
 }
@@ -36,10 +47,10 @@ func (f *Flusher) FlushLine(t *sim.Thread, m *Memory, off uint64) {
 	m.stats.FlushAsync++
 	f.sys.met.FlushAsync++
 	p := pendingFlush{m, off / WordsPerLine}
-	if _, dup := f.seen[p]; dup {
+	if f.seen[p] == f.gen {
 		return
 	}
-	f.seen[p] = struct{}{}
+	f.seen[p] = f.gen
 	f.pending = append(f.pending, p)
 }
 
@@ -66,7 +77,7 @@ func (f *Flusher) Fence(t *sim.Thread) {
 		p.m.persistLine(p.line)
 	}
 	f.pending = f.pending[:0]
-	clear(f.seen)
+	f.gen++ // invalidates every seen entry without touching the map
 }
 
 // Pending returns the number of lines issued but not yet fenced.

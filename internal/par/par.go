@@ -1,0 +1,89 @@
+// Package par is the tiny worker pool that fans independent experiment
+// cells out across host CPUs. Every cell of a figure (algo × thread-count)
+// and every crashtest cycle owns a private sim.Scheduler and nvm.System, so
+// cells can run on real goroutines in parallel without sharing anything;
+// determinism is preserved by making each job write into its own index of a
+// pre-allocated result slice and by serializing progress output in index
+// order (Seq), so neither results nor output depend on completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs normalizes a -j flag value: n <= 0 selects GOMAXPROCS.
+func Jobs(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns when all calls have finished. Each invocation owns index i
+// exclusively, so fn typically writes its result into slot i of a
+// pre-allocated slice — completion order never shows in the results. With
+// workers <= 1 (or n <= 1) the calls run serially on the calling
+// goroutine, exactly as the plain loop they replace.
+func Do(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Seq releases per-index side effects in index order: a parallel sweep
+// prints the same progress stream a serial one would, each index's lines
+// appearing as soon as every earlier index has finished. The zero value is
+// ready to use.
+type Seq struct {
+	mu   sync.Mutex
+	next int
+	held map[int]func()
+}
+
+// Done marks index i finished. Its emit callback (nil is allowed) runs
+// once all indices below i are done; any directly unblocked successors are
+// flushed in the same call. Each index must be completed exactly once.
+func (s *Seq) Done(i int, emit func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.held == nil {
+		s.held = make(map[int]func())
+	}
+	s.held[i] = emit
+	for {
+		e, ok := s.held[s.next]
+		if !ok {
+			return
+		}
+		delete(s.held, s.next)
+		s.next++
+		if e != nil {
+			e()
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(5); got != 5 {
+		t.Errorf("Jobs(5) = %d", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		counts := make([]int, n)
+		Do(workers, n, func(i int) { counts[i]++ })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	ran := false
+	Do(8, 0, func(int) { ran = true })
+	if ran {
+		t.Error("Do ran a job for n=0")
+	}
+}
+
+// TestSeqReleasesInOrder hammers Seq from a parallel Do and checks the emit
+// callbacks fired exactly in index order regardless of completion order.
+func TestSeqReleasesInOrder(t *testing.T) {
+	const n = 500
+	var seq Seq
+	var order []int
+	Do(8, n, func(i int) {
+		// Uneven spin skews completion order across goroutines.
+		for k := 0; k < (i%13)*50; k++ {
+			_ = k * k
+		}
+		seq.Done(i, func() { order = append(order, i) })
+	})
+	if len(order) != n {
+		t.Fatalf("emitted %d of %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("emit %d was index %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestSeqNilEmit checks indexes may complete without an emit callback.
+func TestSeqNilEmit(t *testing.T) {
+	var seq Seq
+	fired := false
+	seq.Done(1, func() { fired = true })
+	seq.Done(0, nil)
+	if !fired {
+		t.Error("emit for index 1 never fired after index 0 completed")
+	}
+}

@@ -1,0 +1,50 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags for the
+// repository's command-line tools, so perf work on the simulator is measured
+// with pprof rather than guessed at.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (empty disables it) and returns a
+// stop function that ends the CPU profile and, when memPath is non-empty,
+// writes a heap profile after a final GC. Call stop exactly once, after the
+// measured work and before exit.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

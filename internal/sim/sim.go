@@ -21,13 +21,26 @@
 // subsequent Step panics with a value recognized by Crashed, unwinding each
 // simulated thread out of whatever operation it was executing — so crashes
 // land mid-operation, as they do on hardware.
+//
+// # Concurrency contract
+//
+// Spawn may be called from the host goroutine before Run, or from a running
+// simulated thread; it must not be called from a foreign goroutine while the
+// scheduler is dispatching. Control methods (CrashAtEvent, CrashAfter,
+// CrashNow, Events, Frozen) may be called from the host goroutine only while
+// the scheduler is quiescent (before Run, or after Run returned), or from
+// inside a running simulated thread. Under that contract every piece of
+// scheduler state is only ever touched by the baton holder (or by the host
+// before the first baton is granted / after the last one is returned, both
+// ordered by channel operations), so Step needs no locks or atomics: its
+// run-ahead fast path is a clock add, a counter increment and one heap-top
+// comparison. See DESIGN.md ("Run-ahead scheduling") for the
+// schedule-preservation argument.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
-	"sync"
 )
 
 // Crash is the panic value raised by Step once the scheduler is frozen.
@@ -59,7 +72,6 @@ type Thread struct {
 	node  int // NUMA node the thread is pinned to
 	clock uint64
 	state state
-	idx   int // heap index, -1 when not in heap
 	sch   *Scheduler
 	wake  chan struct{}
 	rng   *rand.Rand
@@ -83,50 +95,69 @@ func (t *Thread) Rand() *rand.Rand { return t.rng }
 // Scheduler returns the owning scheduler.
 func (t *Thread) Scheduler() *Scheduler { return t.sch }
 
-// Scheduler runs simulated threads in virtual-time order.
+// DefaultRunAhead is the run-ahead setting New installs on fresh schedulers.
+// It exists so equivalence tests (and bisection of a suspected scheduler bug)
+// can globally fall back to the reference full-reinsertion dispatch without
+// threading a knob through every harness layer. Flip it only from tests, and
+// restore it; the package default is on.
+var DefaultRunAhead = true
+
+// Scheduler runs simulated threads in virtual-time order. All of its state
+// is owned by the baton holder; see the package-level concurrency contract.
 type Scheduler struct {
-	mu      sync.Mutex
-	seed    int64
-	nextID  int
-	heap    threadHeap
-	current *Thread
-	live    int
-	allDone chan struct{}
+	seed     int64
+	nextID   int
+	heap     threadHeap
+	live     int
+	allDone  chan struct{}
+	started  bool
+	runahead bool
+
 	events  uint64
 	frozen  bool
 	crashAt uint64 // event index at which to freeze; 0 = never
-	started bool
 }
 
 // New creates a scheduler. The seed determines every per-thread random
 // source, making whole runs reproducible.
 func New(seed int64) *Scheduler {
-	return &Scheduler{seed: seed, allDone: make(chan struct{})}
+	return &Scheduler{
+		seed:     seed,
+		allDone:  make(chan struct{}),
+		runahead: DefaultRunAhead,
+		heap:     threadHeap{ts: make([]*Thread, 0, 16)},
+	}
 }
 
-// Events returns the number of Step calls executed so far.
-func (s *Scheduler) Events() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.events
+// SetRunAhead toggles the run-ahead fast path (on by default). With it off,
+// every Step re-inserts the caller into the ready heap and pops the minimum —
+// the textbook discrete-event loop. Both modes produce the identical
+// schedule (see DESIGN.md); the reference mode exists for the equivalence
+// tests that prove it. Call before Run.
+func (s *Scheduler) SetRunAhead(on bool) {
+	if s.started {
+		panic("sim: SetRunAhead after Run")
+	}
+	s.runahead = on
 }
+
+// RunAhead reports whether the run-ahead fast path is enabled.
+func (s *Scheduler) RunAhead() bool { return s.runahead }
+
+// Events returns the number of Step calls executed so far. Like Frozen, it
+// must be read from a quiescent scheduler or the baton holder.
+func (s *Scheduler) Events() uint64 { return s.events }
 
 // CrashAtEvent arranges for the system to freeze at the given global event
 // index (1-based). It may be set at any time before the event fires. A value
 // of 0 disables crashing.
-func (s *Scheduler) CrashAtEvent(n uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.crashAt = n
-}
+func (s *Scheduler) CrashAtEvent(n uint64) { s.crashAt = n }
 
 // CrashAfter arms a crash n events from now. Harnesses use it to place a
 // crash inside a phase whose absolute event index is unknown in advance —
 // most importantly inside a recovery run, exercising crash-during-recovery
 // schedules. n must be at least 1; 0 disables crashing.
 func (s *Scheduler) CrashAfter(n uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if n == 0 {
 		s.crashAt = 0
 		return
@@ -134,12 +165,10 @@ func (s *Scheduler) CrashAfter(n uint64) {
 	s.crashAt = s.events + n
 }
 
-// Frozen reports whether the system has crashed.
-func (s *Scheduler) Frozen() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.frozen
-}
+// Frozen reports whether the system has crashed. Call it from the host only
+// while the scheduler is quiescent (before Run or after Run returned), or
+// from a running simulated thread.
+func (s *Scheduler) Frozen() bool { return s.frozen }
 
 // Spawn registers a simulated thread pinned to the given NUMA node and
 // starting at virtual time startClock. The function fn runs on its own
@@ -148,22 +177,19 @@ func (s *Scheduler) Frozen() bool {
 // case the new thread inherits the spawner's current clock if startClock is
 // zero... callers pass the desired clock explicitly).
 func (s *Scheduler) Spawn(name string, node int, startClock uint64, fn func(*Thread)) *Thread {
-	s.mu.Lock()
 	t := &Thread{
 		id:    s.nextID,
 		name:  name,
 		node:  node,
 		clock: startClock,
 		state: ready,
-		idx:   -1,
 		sch:   s,
 		wake:  make(chan struct{}, 1),
 	}
 	t.rng = rand.New(rand.NewSource(s.seed + int64(t.id)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
 	s.nextID++
 	s.live++
-	heap.Push(&s.heap, t)
-	s.mu.Unlock()
+	s.heap.push(t)
 
 	go func() {
 		<-t.wake // wait until scheduled for the first time
@@ -174,12 +200,9 @@ func (s *Scheduler) Spawn(name string, node int, startClock uint64, fn func(*Thr
 			}
 			s.exit(t)
 		}()
-		s.mu.Lock()
 		if s.frozen {
-			s.mu.Unlock()
 			panic(Crash{})
 		}
-		s.mu.Unlock()
 		fn(t)
 	}()
 	return t
@@ -187,20 +210,15 @@ func (s *Scheduler) Spawn(name string, node int, startClock uint64, fn func(*Thr
 
 // Run starts dispatching and blocks until every spawned thread has exited.
 func (s *Scheduler) Run() {
-	s.mu.Lock()
 	if s.started {
-		s.mu.Unlock()
 		panic("sim: Run called twice")
 	}
 	s.started = true
 	if s.live == 0 {
-		s.mu.Unlock()
 		return
 	}
-	next := heap.Pop(&s.heap).(*Thread)
+	next := s.heap.popMin()
 	next.state = running
-	s.current = next
-	s.mu.Unlock()
 	next.wake <- struct{}{}
 	<-s.allDone
 }
@@ -208,6 +226,14 @@ func (s *Scheduler) Run() {
 // Step advances the calling thread's virtual clock by cost nanoseconds and
 // yields to the minimum-clock runnable thread. It panics with Crash{} if the
 // system has frozen (crashed).
+//
+// Run-ahead fast path: when no ready thread has a strictly smaller clock than
+// the caller's advanced clock — or an equal clock with a smaller id — the
+// caller keeps the baton and returns without touching the heap or a channel.
+// A handoff swaps the caller with the heap root in a single sift-down
+// (replaceMin); because (clock, id) keys are unique, the minimum popped from
+// any valid heap arrangement is the same thread, so the schedule is
+// identical to the reference mode's full reinsertion (SetRunAhead(false)).
 func (t *Thread) Step(cost uint64) {
 	if cost == 0 {
 		// A zero-cost event would let the caller keep the minimum clock and
@@ -215,44 +241,50 @@ func (t *Thread) Step(cost uint64) {
 		cost = 1
 	}
 	s := t.sch
-	s.mu.Lock()
 	t.clock += cost
 	s.events++
-	if !s.frozen && s.crashAt != 0 && s.events >= s.crashAt {
+	if s.crashAt != 0 && s.events >= s.crashAt {
 		s.frozen = true
 	}
 	if s.frozen {
-		s.mu.Unlock()
 		panic(Crash{})
 	}
-	if len(s.heap.ts) == 0 || !s.heap.ts[0].less(t) {
-		// Fast path: the caller is still the minimum-clock thread.
-		s.mu.Unlock()
+	if s.runahead {
+		if len(s.heap.ts) == 0 || !s.heap.ts[0].less(t) {
+			return // still the minimum: run ahead, no heap op, no handoff
+		}
+		next := s.heap.replaceMin(t)
+		next.state = running
+		t.state = ready
+		s.park(t, next)
 		return
 	}
-	next := heap.Pop(&s.heap).(*Thread)
+	// Reference mode: full reinsertion through the heap.
+	s.heap.push(t)
+	next := s.heap.popMin()
+	if next == t {
+		return
+	}
 	next.state = running
 	t.state = ready
-	heap.Push(&s.heap, t)
-	s.current = next
-	s.mu.Unlock()
+	s.park(t, next)
+}
+
+// park wakes next and blocks until the baton returns to t, re-raising a
+// crash that happened while t was parked.
+func (s *Scheduler) park(t, next *Thread) {
 	next.wake <- struct{}{}
 	<-t.wake
-	s.mu.Lock()
-	frozen := s.frozen
-	s.mu.Unlock()
-	if frozen {
+	if s.frozen {
 		panic(Crash{})
 	}
 }
 
 // exit removes the thread from the scheduler and hands the baton onward.
 func (s *Scheduler) exit(t *Thread) {
-	s.mu.Lock()
 	t.state = done
 	s.live--
 	if s.live == 0 {
-		s.mu.Unlock()
 		close(s.allDone)
 		return
 	}
@@ -260,24 +292,17 @@ func (s *Scheduler) exit(t *Thread) {
 		// Remaining threads exist but none is runnable: every live thread is
 		// blocked inside Step waiting for the baton, which is impossible
 		// because Step always re-enqueues before blocking. Treat as a bug.
-		s.mu.Unlock()
 		panic("sim: no runnable thread but live threads remain")
 	}
-	next := heap.Pop(&s.heap).(*Thread)
+	next := s.heap.popMin()
 	next.state = running
-	s.current = next
-	s.mu.Unlock()
 	next.wake <- struct{}{}
 }
 
 // CrashNow freezes the system from within a simulated thread. The calling
 // thread panics with Crash{} on its next Step; parked threads panic when the
 // baton reaches them.
-func (s *Scheduler) CrashNow() {
-	s.mu.Lock()
-	s.frozen = true
-	s.mu.Unlock()
-}
+func (s *Scheduler) CrashNow() { s.frozen = true }
 
 // less orders threads by (clock, id) for deterministic tie-breaking.
 func (t *Thread) less(u *Thread) bool {
@@ -287,22 +312,61 @@ func (t *Thread) less(u *Thread) bool {
 	return t.id < u.id
 }
 
+// threadHeap is a hand-rolled binary min-heap ordered by Thread.less. It
+// replaces container/heap on the dispatch path: no interface boxing, no
+// indirect Less/Swap calls, and the backing slice is pre-sized at New and
+// reused for the scheduler's lifetime.
 type threadHeap struct{ ts []*Thread }
 
-func (h *threadHeap) Len() int           { return len(h.ts) }
-func (h *threadHeap) Less(i, j int) bool { return h.ts[i].less(h.ts[j]) }
-func (h *threadHeap) Swap(i, j int) {
-	h.ts[i], h.ts[j] = h.ts[j], h.ts[i]
-	h.ts[i].idx = i
-	h.ts[j].idx = j
+func (h *threadHeap) push(t *Thread) {
+	h.ts = append(h.ts, t)
+	i := len(h.ts) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.ts[i].less(h.ts[parent]) {
+			break
+		}
+		h.ts[i], h.ts[parent] = h.ts[parent], h.ts[i]
+		i = parent
+	}
 }
-func (h *threadHeap) Push(x any) { t := x.(*Thread); t.idx = len(h.ts); h.ts = append(h.ts, t) }
-func (h *threadHeap) Pop() any {
-	old := h.ts
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.idx = -1
-	h.ts = old[:n-1]
-	return t
+
+func (h *threadHeap) popMin() *Thread {
+	ts := h.ts
+	min := ts[0]
+	n := len(ts) - 1
+	ts[0] = ts[n]
+	ts[n] = nil
+	h.ts = ts[:n]
+	h.down(0)
+	return min
+}
+
+// replaceMin swaps t in for the current minimum in one sift-down: the
+// handoff's pop-then-push collapsed into a single heap operation.
+func (h *threadHeap) replaceMin(t *Thread) *Thread {
+	min := h.ts[0]
+	h.ts[0] = t
+	h.down(0)
+	return min
+}
+
+func (h *threadHeap) down(i int) {
+	ts := h.ts
+	n := len(ts)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && ts[r].less(ts[l]) {
+			m = r
+		}
+		if !ts[m].less(ts[i]) {
+			break
+		}
+		ts[i], ts[m] = ts[m], ts[i]
+		i = m
+	}
 }
