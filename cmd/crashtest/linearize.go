@@ -1,0 +1,146 @@
+package main
+
+// The -check linearize cycle: instead of the per-worker key-prefix
+// condition, every operation of a mixed set workload is recorded with its
+// invoke/response timestamps, and after each crash/recover epoch the
+// history plus the probed recovered state must admit a durable
+// linearization (buffered durable with the ε+β−1 completed-loss allowance
+// for PREP-Buffered). -epochs chains crash/recover cycles on one machine:
+// each epoch's probed state is the next epoch's initial state, so recovery
+// bugs that only corrupt the second crash are still caught.
+
+import (
+	"prepuc/internal/linearize"
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+	"prepuc/internal/workload"
+)
+
+// linKeyRange keeps the probe (a Get per key after every epoch) cheap while
+// leaving enough collision pressure to exercise overwrite paths.
+const linKeyRange = 128
+
+// linSpec is the recorded workload: the paper's mixed set mix at 30% reads.
+func linSpec() workload.Spec {
+	s := workload.SetSpec(30, linKeyRange)
+	s.Prefill = 0
+	return s
+}
+
+// runLinearizeCycle executes one boot → (workload-crash → recover → probe →
+// check) × epochs cycle. The fault adversary, nested-crash arming and
+// recovery retry loop match the prefix cycle exactly; only the workload
+// (mixed ops instead of disjoint inserts) and the verdict differ.
+func runLinearizeCycle(mk driverMaker, iter int, crashAt uint64) (checkBlock, cycleStats, bool) {
+	d := mk()
+	base := *seed + int64(iter)*101 + d.offset
+	tp := topo()
+	spec := linSpec()
+	model := linearize.SetModel()
+	allowance := int(*epsilon) + tp.ThreadsPerNode - 1
+
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+	})
+	sys.SetFaultPolicy(cyclePolicy(iter, base))
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { err = d.boot(t, sys) })
+	bootSch.Run()
+	if err != nil {
+		panic(err)
+	}
+
+	cb := checkBlock{Mode: "linearize", Epochs: *epochs, OK: true, FailedEpoch: -1}
+	var cs cycleStats
+	cur := sys
+	init := model.Empty()
+	for epoch := 0; epoch < *epochs; epoch++ {
+		sch := sim.New(base + 1 + int64(epoch)*23)
+		sch.CrashAtEvent(crashAt + uint64(epoch)*7_777)
+		cur.SetScheduler(sch)
+		if d.spawnAux != nil {
+			d.spawnAux()
+		}
+		rec := linearize.NewRecorder(*workers)
+		for tid := 0; tid < *workers; tid++ {
+			tid := tid
+			sch.Spawn("worker", tp.NodeOf(tid), 0, func(t *sim.Thread) {
+				defer func() {
+					if r := recover(); r != nil && !sim.Crashed(r) {
+						panic(r)
+					}
+				}()
+				gen := workload.NewGen(spec, base+int64(epoch)*53+17, tid)
+				for {
+					op := gen.Next()
+					rec.Exec(t, tid, op, func() uint64 { return d.exec(t, tid, op) })
+				}
+			})
+		}
+		sch.Run()
+
+		for attempt := 0; ; attempt++ {
+			recSch := sim.New(base + 2 + int64(epoch)*23 + int64(attempt)*17)
+			if attempt < *nested {
+				recSch.CrashAtEvent(nestedEvent(iter, attempt))
+			}
+			cur = cur.Recover(recSch)
+			cs.RecoveryAttempts++
+			var replayed uint64
+			recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+				start := t.Clock()
+				replayed, err = d.recov(t, cur)
+				cs.RecoveryVirtualNS += t.Clock() - start
+			})
+			recSch.Run()
+			if recSch.Frozen() {
+				cs.Fault.NestedCrashes++
+				continue
+			}
+			if err != nil {
+				panic(err)
+			}
+			cs.Replayed += replayed
+			break
+		}
+
+		recovered := map[uint64]uint64{}
+		probeSch := sim.New(base + 900 + int64(epoch)*23)
+		cur.SetScheduler(probeSch)
+		probeSch.Spawn("probe", 0, 0, func(t *sim.Thread) {
+			for k := uint64(0); k < linKeyRange; k++ {
+				if v := d.exec(t, 0, uc.Op{Code: uc.OpGet, A0: k}); v != uc.NotFound {
+					recovered[k] = v
+				}
+			}
+		})
+		probeSch.Run()
+
+		opt := linearize.Options{}
+		if d.buffered {
+			opt = linearize.Options{Buffered: true, Allowance: allowance}
+		}
+		res := linearize.CheckEpoch(model, init, rec.Ops(), recovered, opt)
+		cb.Ops += res.Ops
+		cb.Partitions += res.Partitions
+		cb.Lost += res.Lost
+		if !res.OK {
+			cb.OK = false
+			cb.FailedEpoch = epoch
+			cb.FailedPartition = res.FailedPartition
+			cb.Reason = res.Reason
+			break
+		}
+		init = recovered
+	}
+
+	ms := cur.Metrics().Snapshot()
+	cs.Fault.Policy = policyLabel()
+	cs.Fault.PendingDropped = ms.CrashLinesDropped
+	cs.Fault.PendingPersisted = ms.CrashLinesPersisted
+	cs.Fault.RecoveryRestarts = ms.RecoveryRestarts
+	cs.Fault.ReplayHoles = ms.ReplayHoles
+	return cb, cs, cb.OK
+}

@@ -33,6 +33,17 @@
 //     each cycle owns a private simulator); the document and the progress
 //     stream are identical for every -j value. -cpuprofile/-memprofile
 //     write standard pprof profiles.
+//   - -check linearize swaps the per-worker prefix condition for a full
+//     durable-linearizability check: every operation of a mixed set
+//     workload is recorded with invoke/response timestamps
+//     (internal/linearize) and each epoch's history plus the probed
+//     recovered state must admit a legal linearization — buffered durable
+//     with the ε+β−1 loss allowance for PREP-Buffered, strict for the
+//     rest. -epochs N (default 2) chains N crash/recover cycles on one
+//     machine, feeding each epoch's recovered state into the next. The
+//     JSON document gains a per-cycle "check" block and a top-level
+//     "checker" summary (schema stays prepuc-crash/v2; all prior fields
+//     are unchanged).
 //
 // Besides the correctness verdicts, every cycle measures how long recovery
 // took in virtual time, how many log entries it replayed, and what the
@@ -81,6 +92,8 @@ var (
 	crashAtFlg = flag.Uint64("crash-at", 0, "pin the workload crash to this event index (0: per-iteration pseudo-random)")
 	nestedAt   = flag.Uint64("nested-at", 0, "pin nested crashes to this recovery event index (0: per-attempt pseudo-random)")
 	bisect     = flag.Bool("bisect", true, "on failure, bisect the crash point before printing the repro")
+	checkMode  = flag.String("check", "prefix", "correctness checker: prefix (per-worker key-prefix condition) or linearize (WGL durable-linearizability check of the recorded history)")
+	epochs     = flag.Int("epochs", 2, "chained crash/recover epochs per iteration (linearize checker only)")
 	jobs       = flag.Int("j", 0, "run up to N crash/recover cycles in parallel (0 = GOMAXPROCS)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -118,6 +131,39 @@ func (f *faultStats) add(g faultStats) {
 	f.NestedCrashes += g.NestedCrashes
 }
 
+// checkBlock is one cycle's linearizability verdict (-check linearize
+// only; additive to schema v2).
+type checkBlock struct {
+	// Mode is the checker that produced the verdict ("linearize").
+	Mode string `json:"mode"`
+	// Epochs is how many chained crash/recover epochs the cycle ran.
+	Epochs int `json:"epochs"`
+	// Ops and Partitions total the checked operations and WGL partitions
+	// across the cycle's epochs.
+	Ops        int `json:"ops"`
+	Partitions int `json:"partitions"`
+	// Lost is the total completed-operation loss the checker had to grant
+	// (0 except under the buffered allowance).
+	Lost int  `json:"lost"`
+	OK   bool `json:"ok"`
+	// FailedEpoch / FailedPartition / Reason locate the first failure
+	// (FailedEpoch is -1 when OK).
+	FailedEpoch     int    `json:"failed_epoch"`
+	FailedPartition string `json:"failed_partition,omitempty"`
+	Reason          string `json:"reason,omitempty"`
+}
+
+// checkerSummary aggregates the run's linearizability checking (-check
+// linearize only; additive to schema v2).
+type checkerSummary struct {
+	Mode     string `json:"mode"`
+	Epochs   int    `json:"epochs"`
+	Cycles   int    `json:"cycles"`
+	Ops      int    `json:"ops"`
+	Lost     int    `json:"lost"`
+	Failures int    `json:"failures"`
+}
+
 // crashCycle is one iteration's record in the JSON document. The first
 // seven fields are unchanged from schema v1.
 type crashCycle struct {
@@ -127,9 +173,10 @@ type crashCycle struct {
 	Recovered uint64 `json:"recovered_ops"`
 	Lost      uint64 `json:"lost_completed"`
 	recStats
-	CrashAt          uint64     `json:"crash_at"`
-	RecoveryAttempts int        `json:"recovery_attempts"`
-	Fault            faultStats `json:"fault"`
+	CrashAt          uint64      `json:"crash_at"`
+	RecoveryAttempts int         `json:"recovery_attempts"`
+	Fault            faultStats  `json:"fault"`
+	Check            *checkBlock `json:"check,omitempty"`
 }
 
 // crashSystemDoc groups one system's cycles.
@@ -148,6 +195,7 @@ type crashDoc struct {
 	Seed       int64            `json:"seed"`
 	Nested     int              `json:"nested"`
 	Fault      faultStats       `json:"fault"`
+	Checker    *checkerSummary  `json:"checker,omitempty"`
 	Systems    []crashSystemDoc `json:"systems"`
 }
 
@@ -155,6 +203,10 @@ func main() {
 	flag.Parse()
 	if *format != "table" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (want table or json)\n", *format)
+		os.Exit(2)
+	}
+	if *checkMode != "prefix" && *checkMode != "linearize" {
+		fmt.Fprintf(os.Stderr, "unknown checker %q (want prefix or linearize)\n", *checkMode)
 		os.Exit(2)
 	}
 	if _, err := fault.Parse(*policySpec, 1); err != nil {
@@ -181,10 +233,39 @@ func main() {
 		progress = os.Stderr
 	}
 
+	doc, failures := buildDoc(progress)
+	// Stop profiling before the exit paths below; os.Exit skips defers.
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+		os.Exit(1)
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(progress, "\n%d FAILURES\n", failures)
+		os.Exit(1)
+	}
+	fmt.Fprintln(progress, "\nall crash/recover cycles satisfied their correctness condition")
+}
+
+// buildDoc runs every selected system's crash/recover cycles under the
+// configured checker and returns the machine-readable document plus the
+// failure count. It is the whole run minus flag validation and I/O setup,
+// so tests can drive it deterministically.
+func buildDoc(progress io.Writer) (crashDoc, int) {
 	doc := crashDoc{
 		Schema: CrashSchema, Iterations: *iterations, Workers: *workers,
 		Epsilon: *epsilon, LogSize: *logSize, Seed: *seed, Nested: *nested,
 		Fault: faultStats{Policy: policyLabel()},
+	}
+	if *checkMode == "linearize" {
+		doc.Checker = &checkerSummary{Mode: "linearize", Epochs: *epochs}
 	}
 	failures := 0
 	// Each cycle builds its machine from scratch on a private scheduler, so
@@ -201,25 +282,11 @@ func main() {
 		var seqOut par.Seq
 		par.Do(par.Jobs(*jobs), *iterations, func(i int) {
 			crashAt := crashEvent(i)
-			rep, cs, ok := runCycle(mk, i, crashAt)
 			var buf bytes.Buffer
-			status := "OK "
-			if !ok {
-				status = "FAIL"
-			}
-			fmt.Fprintf(&buf, "  [%s] crash %2d @%-6d: %s replayed=%d attempts=%d nested=%d restarts=%d recovery=%.3fms(virtual)\n",
-				status, i, crashAt, rep, cs.Replayed, cs.RecoveryAttempts,
-				cs.Fault.NestedCrashes, cs.Fault.RecoveryRestarts,
-				float64(cs.RecoveryVirtualNS)/1e6)
-			if !ok {
-				reportFailure(&buf, mk, i, crashAt)
-			}
-			cycles[i] = crashCycle{
-				Iteration: i, OK: ok,
-				Completed: rep.Completed, Recovered: rep.Recovered,
-				Lost: rep.LostCompleted, recStats: cs.recStats,
-				CrashAt: crashAt, RecoveryAttempts: cs.RecoveryAttempts,
-				Fault: cs.Fault,
+			if *checkMode == "linearize" {
+				cycles[i] = runLinearizeIteration(&buf, mk, i, crashAt)
+			} else {
+				cycles[i] = runPrefixIteration(&buf, mk, i, crashAt)
 			}
 			seqOut.Done(i, func() { progress.Write(buf.Bytes()) })
 		})
@@ -228,6 +295,14 @@ func main() {
 				failures++
 			}
 			doc.Fault.add(c.Fault)
+			if doc.Checker != nil && c.Check != nil {
+				doc.Checker.Cycles++
+				doc.Checker.Ops += c.Check.Ops
+				doc.Checker.Lost += c.Check.Lost
+				if !c.Check.OK {
+					doc.Checker.Failures++
+				}
+			}
 			sd.Cycles = append(sd.Cycles, c)
 		}
 		doc.Systems = append(doc.Systems, sd)
@@ -247,24 +322,68 @@ func main() {
 	if *system == "all" || *system == "onll" {
 		run(onllDriver)
 	}
-	// Stop profiling before the exit paths below; os.Exit skips defers.
-	if err := stopProf(); err != nil {
-		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
-		os.Exit(1)
+	return doc, failures
+}
+
+// runPrefixIteration is one -check prefix iteration: the v1 cycle plus its
+// progress line and failure repro.
+func runPrefixIteration(buf *bytes.Buffer, mk driverMaker, i int, crashAt uint64) crashCycle {
+	rep, cs, ok := runCycle(mk, i, crashAt)
+	status := "OK "
+	if !ok {
+		status = "FAIL"
 	}
-	if *format == "json" {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
-			os.Exit(1)
-		}
+	fmt.Fprintf(buf, "  [%s] crash %2d @%-6d: %s replayed=%d attempts=%d nested=%d restarts=%d recovery=%.3fms(virtual)\n",
+		status, i, crashAt, rep, cs.Replayed, cs.RecoveryAttempts,
+		cs.Fault.NestedCrashes, cs.Fault.RecoveryRestarts,
+		float64(cs.RecoveryVirtualNS)/1e6)
+	if !ok {
+		reportFailure(buf, mk, i, crashAt)
 	}
-	if failures > 0 {
-		fmt.Fprintf(progress, "\n%d FAILURES\n", failures)
-		os.Exit(1)
+	return crashCycle{
+		Iteration: i, OK: ok,
+		Completed: rep.Completed, Recovered: rep.Recovered,
+		Lost: rep.LostCompleted, recStats: cs.recStats,
+		CrashAt: crashAt, RecoveryAttempts: cs.RecoveryAttempts,
+		Fault: cs.Fault,
 	}
-	fmt.Fprintln(progress, "\nall crash/recover cycles satisfied their correctness condition")
+}
+
+// runLinearizeIteration is one -check linearize iteration: -epochs chained
+// crash/recover epochs of the recorded mixed set workload, each checked for
+// (buffered) durable linearizability.
+func runLinearizeIteration(buf *bytes.Buffer, mk driverMaker, i int, crashAt uint64) crashCycle {
+	cb, cs, ok := runLinearizeCycle(mk, i, crashAt)
+	status := "OK "
+	if !ok {
+		status = "FAIL"
+	}
+	fmt.Fprintf(buf, "  [%s] crash %2d @%-6d: linearize epochs=%d ops=%d partitions=%d lost=%d replayed=%d attempts=%d nested=%d restarts=%d recovery=%.3fms(virtual)\n",
+		status, i, crashAt, cb.Epochs, cb.Ops, cb.Partitions, cb.Lost,
+		cs.Replayed, cs.RecoveryAttempts,
+		cs.Fault.NestedCrashes, cs.Fault.RecoveryRestarts,
+		float64(cs.RecoveryVirtualNS)/1e6)
+	if !ok {
+		fmt.Fprintf(buf, "       check: epoch %d, %s: %s\n", cb.FailedEpoch, cb.FailedPartition, cb.Reason)
+		reportFailure(buf, mk, i, crashAt)
+	}
+	return crashCycle{
+		Iteration: i, OK: ok,
+		Completed: uint64(cb.Ops), Lost: uint64(cb.Lost), recStats: cs.recStats,
+		CrashAt: crashAt, RecoveryAttempts: cs.RecoveryAttempts,
+		Fault: cs.Fault, Check: &cb,
+	}
+}
+
+// cycleOK re-runs one iteration under the active checker and reports only
+// the verdict (the bisection probe).
+func cycleOK(mk driverMaker, iter int, crashAt uint64) bool {
+	if *checkMode == "linearize" {
+		_, _, ok := runLinearizeCycle(mk, iter, crashAt)
+		return ok
+	}
+	_, _, ok := runCycle(mk, iter, crashAt)
+	return ok
 }
 
 func topo() numa.Topology { return numa.Topology{Nodes: 2, ThreadsPerNode: (*workers + 1) / 2} }
@@ -325,6 +444,7 @@ type cycleStats struct {
 type driver struct {
 	name     string
 	offset   int64 // per-system seed offset, disjoint across systems
+	buffered bool  // buffered durable: gets the ε+β−1 loss allowance
 	ok       func(history.Report) bool
 	boot     func(t *sim.Thread, sys *nvm.System) error
 	spawnAux func() // spawn auxiliary threads on the workload scheduler; may be nil
@@ -422,6 +542,9 @@ func reportFailure(w io.Writer, mk driverMaker, iter int, crashAt uint64) {
 		fmt.Sprintf("-seed=%d", *seed+int64(iter)*101),
 		fmt.Sprintf("-crash-at=%d", at),
 	}
+	if *checkMode != "prefix" {
+		args = append(args, fmt.Sprintf("-check=%s", *checkMode), fmt.Sprintf("-epochs=%d", *epochs))
+	}
 	if *policySpec != "" {
 		spec := *policySpec
 		if spec == "targeted" {
@@ -444,12 +567,12 @@ func reportFailure(w io.Writer, mk driverMaker, iter int, crashAt uint64) {
 // monotone between a passing low point and the failing high point.
 func bisectCrash(w io.Writer, mk driverMaker, iter int, failAt uint64) uint64 {
 	lo, hi := uint64(64), failAt // crash during boot replay is uninteresting
-	if _, _, ok := runCycle(mk, iter, lo); !ok {
+	if !cycleOK(mk, iter, lo) {
 		return lo
 	}
 	for hi-lo > 1 {
 		mid := lo + (hi-lo)/2
-		if _, _, ok := runCycle(mk, iter, mid); ok {
+		if cycleOK(mk, iter, mid) {
 			lo = mid
 		} else {
 			hi = mid
@@ -533,15 +656,15 @@ func prepDriver(mode core.Mode) driverMaker {
 			Attacher:  seq.HashMapAttacher,
 			HeapWords: 1 << 21,
 		}
-		d := &driver{name: name, offset: 0, ok: okFn}
+		d := &driver{name: name, offset: 0, buffered: mode == core.Buffered, ok: okFn}
 		var cur *core.PREP
+		d.spawnAux = func() { cur.SpawnPersistence(0) }
 		d.boot = func(t *sim.Thread, sys *nvm.System) error {
 			p, err := core.New(t, sys, cfg)
 			if err != nil {
 				return err
 			}
 			cur = p
-			d.spawnAux = func() { p.SpawnPersistence(0) }
 			return nil
 		}
 		d.recov = func(t *sim.Thread, recSys *nvm.System) (uint64, error) {

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// withFlags sets command-line flags for one subtest and restores them after.
+func withFlags(t *testing.T, vals map[string]string) {
+	t.Helper()
+	for name, v := range vals {
+		f := flag.Lookup(name)
+		if f == nil {
+			t.Fatalf("unknown flag %q", name)
+		}
+		old := f.Value.String()
+		if err := flag.Set(name, v); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { flag.Set(name, old) })
+	}
+}
+
+// TestSchemaGolden locks the prepuc-crash/v2 JSON document byte for byte:
+// every field of a run is virtual-time or seed-derived, so a tiny
+// deterministic run must reproduce its golden exactly. One golden covers
+// the v1-compatible prefix checker, one the -check linearize additions
+// (per-cycle "check" blocks and the top-level "checker" summary). Run
+// `go test ./cmd/crashtest -run TestSchemaGolden -update` to regenerate
+// after an intentional (additive-only) schema change.
+func TestSchemaGolden(t *testing.T) {
+	base := map[string]string{
+		"iterations": "2", "workers": "2", "epsilon": "16", "log": "128",
+		"seed": "42", "policy": "targeted", "j": "1", "nested": "1",
+	}
+	cases := []struct {
+		name   string
+		golden string
+		extra  map[string]string
+	}{
+		{"prefix", "crash_v2_prefix.golden.json",
+			map[string]string{"system": "prep-durable", "check": "prefix"}},
+		{"linearize", "crash_v2_linearize.golden.json",
+			map[string]string{"system": "prep-buffered", "check": "linearize", "epochs": "2"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			withFlags(t, base)
+			withFlags(t, tc.extra)
+			var progress bytes.Buffer
+			doc, failures := buildDoc(&progress)
+			if failures != 0 {
+				t.Fatalf("deterministic run failed %d cycles:\n%s", failures, progress.String())
+			}
+			got, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("schema document drifted from %s (regenerate with -update if intentional)\ngot:\n%s", path, got)
+			}
+		})
+	}
+}
+
+// TestSchemaRequiredFields guards the stability contract independently of
+// the golden bytes: the v1 field names and the v2/check additions must
+// survive any refactor of the Go structs.
+func TestSchemaRequiredFields(t *testing.T) {
+	withFlags(t, map[string]string{
+		"iterations": "1", "workers": "2", "epsilon": "16", "log": "128",
+		"seed": "7", "policy": "targeted", "j": "1",
+		"system": "prep-buffered", "check": "linearize", "epochs": "1",
+	})
+	var progress bytes.Buffer
+	doc, failures := buildDoc(&progress)
+	if failures != 0 {
+		t.Fatalf("run failed:\n%s", progress.String())
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema"] != CrashSchema {
+		t.Fatalf("schema = %v, want %v", m["schema"], CrashSchema)
+	}
+	for _, k := range []string{"iterations", "workers", "epsilon", "log_size", "seed", "nested", "fault", "checker", "systems"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("document is missing top-level field %q", k)
+		}
+	}
+	systems := m["systems"].([]any)
+	cycle := systems[0].(map[string]any)["cycles"].([]any)[0].(map[string]any)
+	for _, k := range []string{"iteration", "ok", "completed_ops", "recovered_ops", "lost_completed",
+		"recovery_virtual_ns", "replayed", "crash_at", "recovery_attempts", "fault", "check"} {
+		if _, ok := cycle[k]; !ok {
+			t.Errorf("cycle is missing field %q", k)
+		}
+	}
+	check := cycle["check"].(map[string]any)
+	for _, k := range []string{"mode", "epochs", "ops", "partitions", "lost", "ok", "failed_epoch"} {
+		if _, ok := check[k]; !ok {
+			t.Errorf("check block is missing field %q", k)
+		}
+	}
+	checker := m["checker"].(map[string]any)
+	for _, k := range []string{"mode", "epochs", "cycles", "ops", "lost", "failures"} {
+		if _, ok := checker[k]; !ok {
+			t.Errorf("checker summary is missing field %q", k)
+		}
+	}
+}

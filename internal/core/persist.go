@@ -38,6 +38,11 @@ func (p *PREP) PersistenceLoop(t *sim.Thread) {
 		panic("core: PersistenceLoop in volatile mode")
 	}
 	f := p.sys.NewFlusher()
+	// A previous persistence thread's stop request (StopPersistence sets
+	// gStop and never clears it) must not kill this run: the loop is
+	// re-entrant so a stopped engine can be driven again — e.g. the
+	// verification probe phase after a measured phase.
+	p.gctrl.Store(t, gStop, 0)
 	for p.gctrl.Load(t, gStop) == 0 {
 		active := int(p.activeP(t))
 		pr := p.preps[active]

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"testing"
+
+	"prepuc/internal/core"
+	"prepuc/internal/seq"
+	"prepuc/internal/uc"
+	"prepuc/internal/workload"
+)
+
+// verifyScale is TinyScale with a probe-friendly key range: the verifier
+// reads the final set state back key by key.
+func verifyScale() Scale {
+	sc := TinyScale()
+	sc.KeyRange = 96
+	return sc
+}
+
+func heap21(Scale) uint64 { return 1 << 21 }
+
+// TestVerifyPointSetWorkload checks the recorded mixed set workload of
+// every construction the evaluation compares — the same ExecuteConcurrent
+// call path RunFigure measures, verified for linearizability instead of
+// timed.
+func TestVerifyPointSetWorkload(t *testing.T) {
+	sc := verifyScale()
+	fig := Figure{
+		ID:       "verify-set",
+		Workload: workload.SetSpec(30, sc.KeyRange),
+		Algos: []AlgoSpec{
+			{"GL", GLBuilder(seq.HashMapFactory(64), heap21)},
+			{"PREP-V", PREPBuilder(core.Volatile, 0, seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
+			{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsSmall, seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
+			{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsSmall, seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
+			{"CX-PUC", CXBuilder(seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
+			{"ONLL", ONLLBuilder(seq.HashMapFactory(64), heap21)},
+			{"SOFT", SOFTBuilder(func(Scale) uint64 { return 64 })},
+		},
+	}
+	for _, algo := range fig.Algos {
+		algo := algo
+		t.Run(algo.Name, func(t *testing.T) {
+			res, err := VerifyPoint(fig, sc, algo, 4, 11, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK {
+				t.Fatalf("%s: %s", algo.Name, res)
+			}
+			t.Logf("%s: %s", algo.Name, res)
+		})
+	}
+}
+
+// TestVerifyPointPairsWorkloads checks the queue, stack and priority-queue
+// pair workloads on the universal constructions (SOFT is a fixed-function
+// hashtable and has no container form).
+func TestVerifyPointPairsWorkloads(t *testing.T) {
+	sc := verifyScale()
+	cases := []struct {
+		name     string
+		spec     workload.Spec
+		factory  uc.Factory
+		attacher uc.Attacher
+	}{
+		{"queue", workload.PairsSpec(uc.OpEnqueue, uc.OpDequeue, 24), seq.QueueFactory(), seq.QueueAttacher},
+		{"stack", workload.PairsSpec(uc.OpPush, uc.OpPop, 24), seq.StackFactory(), seq.StackAttacher},
+		{"pqueue", workload.PairsSpec(uc.OpEnqueue, uc.OpDeleteMin, 24), seq.PQueueFactory(), seq.PQueueAttacher},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fig := Figure{
+				ID:       "verify-" + tc.name,
+				Workload: tc.spec,
+				Algos: []AlgoSpec{
+					{"GL", GLBuilder(tc.factory, heap21)},
+					{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsSmall, tc.factory, tc.attacher, heap21)},
+					{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsSmall, tc.factory, tc.attacher, heap21)},
+					{"CX-PUC", CXBuilder(tc.factory, tc.attacher, heap21)},
+					{"ONLL", ONLLBuilder(tc.factory, heap21)},
+				},
+			}
+			for _, algo := range fig.Algos {
+				res, err := VerifyPoint(fig, sc, algo, 4, 23, 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.OK {
+					t.Fatalf("%s: %s", algo.Name, res)
+				}
+				t.Logf("%s: %s", algo.Name, res)
+			}
+		})
+	}
+}
+
+func TestModelForRejectsUnknown(t *testing.T) {
+	if _, err := ModelFor(workload.Spec{Kind: workload.Pairs, PushCode: uc.OpInsert}); err == nil {
+		t.Fatal("expected error for unknown pair codes")
+	}
+	if m, err := ModelFor(workload.SetSpec(50, 10)); err != nil || m.Name() != "set" {
+		t.Fatalf("set model: %v %v", m, err)
+	}
+}

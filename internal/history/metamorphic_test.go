@@ -1,0 +1,221 @@
+package history
+
+// Metamorphic properties of Check/CheckEpochs: relations between a check's
+// verdict on an outcome and its verdict on a systematically transformed
+// version of the same outcome. These do not need ground truth for any
+// single input — only that the transformation provably should (or should
+// not) change the answer.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genOutcome builds a random prefix-shaped recovery outcome: per worker a
+// completion count and a survivor prefix, with some probe slack past both.
+func genOutcome(rng *rand.Rand, workers int) (keys [][]bool, completed []uint64) {
+	keys = make([][]bool, workers)
+	completed = make([]uint64, workers)
+	for tid := 0; tid < workers; tid++ {
+		completed[tid] = uint64(rng.Intn(48))
+		prefix := uint64(rng.Intn(48))
+		n := completed[tid]
+		if prefix > n {
+			n = prefix
+		}
+		keys[tid] = make([]bool, n+uint64(rng.Intn(8)))
+		for i := uint64(0); i < prefix; i++ {
+			keys[tid][i] = true
+		}
+	}
+	return keys, completed
+}
+
+func reportsEqual(a, b Report) bool { return a == b }
+
+// Metamorphic relation: the check is symmetric in workers. Permuting the
+// worker order leaves every aggregate of the report unchanged.
+func TestCheckWorkerPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + rng.Intn(6)
+		keys, completed := genOutcome(rng, workers)
+		base := Check(keys, completed)
+
+		perm := rng.Perm(workers)
+		pk := make([][]bool, workers)
+		pc := make([]uint64, workers)
+		for i, j := range perm {
+			pk[i], pc[i] = keys[j], completed[j]
+		}
+		return reportsEqual(base, Check(pk, pc))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Metamorphic relation: shrinking the probe window never manufactures loss.
+// Truncating any worker's key observations to a length still covering its
+// completion count cannot turn a passing report into LostCompleted > 0 —
+// the probe slack beyond the completed count only detects in-flight
+// survivors, it never feeds the loss accounting.
+func TestCheckProbeTruncationNeverAddsLoss(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + rng.Intn(6)
+		keys, completed := genOutcome(rng, workers)
+		base := Check(keys, completed)
+
+		cut := make([][]bool, workers)
+		for tid := range keys {
+			lo, hi := completed[tid], uint64(len(keys[tid]))
+			n := lo
+			if hi > lo {
+				n += uint64(rng.Int63n(int64(hi-lo) + 1))
+			}
+			cut[tid] = keys[tid][:n]
+		}
+		trunc := Check(cut, completed)
+		if trunc.LostCompleted > base.LostCompleted {
+			return false
+		}
+		return !base.DurableOK() || trunc.DurableOK()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Metamorphic relation: weakening the completion evidence weakens the
+// obligation. Lowering any worker's completed count (claiming fewer ops
+// returned before the crash) never increases LostCompleted, so a passing
+// report stays passing.
+func TestCheckCompletedMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + rng.Intn(6)
+		keys, completed := genOutcome(rng, workers)
+		base := Check(keys, completed)
+
+		weaker := make([]uint64, workers)
+		for tid, c := range completed {
+			if c > 0 {
+				weaker[tid] = uint64(rng.Int63n(int64(c) + 1))
+			}
+		}
+		w := Check(keys, weaker)
+		if w.LostCompleted > base.LostCompleted {
+			return false
+		}
+		return !base.DurableOK() || w.DurableOK()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// genEpochs builds a random multi-crash history.
+func genEpochs(rng *rand.Rand) []Epoch {
+	epochs := make([]Epoch, 1+rng.Intn(4))
+	for e := range epochs {
+		workers := 1 + rng.Intn(4)
+		keys, completed := genOutcome(rng, workers)
+		epochs[e] = Epoch{Completed: completed, Keys: keys}
+	}
+	return epochs
+}
+
+// Metamorphic relation: epochs are judged independently, so reordering them
+// permutes the per-epoch reports and leaves every aggregate verdict —
+// DurableOK, BufferedOK at any bound, TotalLost — unchanged.
+func TestCheckEpochsPermutationInvariant(t *testing.T) {
+	f := func(seed int64, eps, beta uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		epochs := genEpochs(rng)
+		base := CheckEpochs(epochs)
+
+		perm := rng.Perm(len(epochs))
+		shuffled := make([]Epoch, len(epochs))
+		for i, j := range perm {
+			shuffled[i] = epochs[j]
+		}
+		got := CheckEpochs(shuffled)
+		for i, j := range perm {
+			if !reportsEqual(got.Epochs[i], base.Epochs[j]) {
+				return false
+			}
+		}
+		e, b := uint64(eps%16)+1, uint64(beta%8)+1
+		return got.DurableOK() == base.DurableOK() &&
+			got.BufferedOK(e, b) == base.BufferedOK(e, b) &&
+			got.TotalLost() == base.TotalLost()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Metamorphic relation: dropping a suffix of epochs never turns a passing
+// multi-crash report into a failing one, and appending a clean epoch (all
+// completed ops recovered, nothing beyond) to a passing history keeps it
+// passing with TotalLost unchanged.
+func TestCheckEpochsSuffixAndExtension(t *testing.T) {
+	f := func(seed int64, eps, beta uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		epochs := genEpochs(rng)
+		base := CheckEpochs(epochs)
+		e, b := uint64(eps%16)+1, uint64(beta%8)+1
+
+		cut := CheckEpochs(epochs[:rng.Intn(len(epochs)+1)])
+		if base.DurableOK() && !cut.DurableOK() {
+			return false
+		}
+		if base.BufferedOK(e, b) && !cut.BufferedOK(e, b) {
+			return false
+		}
+		if cut.TotalLost() > base.TotalLost() {
+			return false
+		}
+
+		n := uint64(rng.Intn(32))
+		clean := make([]bool, n)
+		for i := range clean {
+			clean[i] = true
+		}
+		ext := CheckEpochs(append(append([]Epoch{}, epochs...),
+			Epoch{Completed: []uint64{n}, Keys: [][]bool{clean}}))
+		if base.DurableOK() != ext.DurableOK() {
+			return false
+		}
+		if base.BufferedOK(e, b) != ext.BufferedOK(e, b) {
+			return false
+		}
+		return ext.TotalLost() == base.TotalLost()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Metamorphic relation: the buffered verdict is monotone in both bound
+// parameters — relaxing ε or β can only turn a failing verdict into a
+// passing one, and durable linearizability implies every buffered bound.
+func TestBufferedBoundMonotone(t *testing.T) {
+	f := func(seed int64, eps, beta uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mr := CheckEpochs(genEpochs(rng))
+		e, b := uint64(eps%32)+1, uint64(beta%8)+1
+		if mr.BufferedOK(e, b) && !mr.BufferedOK(e+1, b) {
+			return false
+		}
+		if mr.BufferedOK(e, b) && !mr.BufferedOK(e, b+1) {
+			return false
+		}
+		return !mr.DurableOK() || mr.BufferedOK(1, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package linearize
+
+// Mutation self-tests: hand-crafted illegal histories the checker must
+// reject. These guard the checker itself — a checker that accepts
+// everything would make every integration test meaningless.
+
+import (
+	"testing"
+
+	"prepuc/internal/uc"
+)
+
+// A completed update whose effect is missing from the recovered state:
+// the canonical durable-linearizability violation.
+func TestMutationLostCompletedUpdate(t *testing.T) {
+	ops := []Op{
+		co(0, uc.OpInsert, 3, 33, 1, 0, 10),
+		co(1, uc.OpInsert, 4, 44, 1, 0, 12),
+	}
+	rec := setState(4, 44) // key 3's completed insert vanished
+	mustFail(t, CheckEpoch(SetModel(), nil, ops, rec, Options{}))
+	// Buffered with a zero allowance must reject too...
+	mustFail(t, CheckEpoch(SetModel(), nil, ops, rec, Options{Buffered: true, Allowance: 0}))
+	// ...and accept once the loss fits the ε+β−1 budget.
+	mustOK(t, CheckEpoch(SetModel(), nil, ops, rec, Options{Buffered: true, Allowance: 1}))
+}
+
+// A read that returns a value no operation had written yet: the insert of
+// 70 was invoked strictly after the read returned.
+func TestMutationValueFromTheFutureRead(t *testing.T) {
+	ops := []Op{
+		co(0, uc.OpGet, 7, 0, 70, 0, 10),
+		co(1, uc.OpInsert, 7, 70, 1, 20, 30),
+	}
+	mustFail(t, CheckEpoch(SetModel(), nil, ops, nil, Options{}))
+	mustFail(t, CheckEpoch(SetModel(), nil, ops, setState(7, 70), Options{Buffered: true, Allowance: 8}))
+}
+
+// Dequeues observing two sequentially ordered enqueues in reverse order.
+func TestMutationFIFOInversion(t *testing.T) {
+	ops := []Op{
+		co(0, uc.OpEnqueue, 1, 0, 1, 0, 10),
+		co(0, uc.OpEnqueue, 2, 0, 1, 20, 30),
+		co(1, uc.OpDequeue, 0, 0, 2, 40, 50),
+		co(1, uc.OpDequeue, 0, 0, 1, 60, 70),
+	}
+	mustFail(t, CheckEpoch(QueueModel(), nil, ops, []uint64{}, Options{}))
+	mustFail(t, CheckEpoch(QueueModel(), nil, ops, []uint64{}, Options{Buffered: true, Allowance: 8}))
+}
+
+// An in-flight operation may take effect at most once. Observing its
+// effect twice — in the recovered state, or through two dequeues — means
+// recovery replayed it.
+func TestMutationDuplicatedInFlightEffect(t *testing.T) {
+	// The drained recovered queue contains the in-flight enqueue's value
+	// twice.
+	ops := []Op{
+		io(0, uc.OpEnqueue, 7, 0, 5),
+	}
+	mustFail(t, CheckEpoch(QueueModel(), nil, ops, []uint64{7, 7}, Options{}))
+	mustOK(t, CheckEpoch(QueueModel(), nil, ops, []uint64{7}, Options{}))
+	mustOK(t, CheckEpoch(QueueModel(), nil, ops, []uint64{}, Options{}))
+
+	// Two completed dequeues both claim the single in-flight enqueue.
+	ops2 := []Op{
+		io(0, uc.OpEnqueue, 7, 0, 5),
+		co(1, uc.OpDequeue, 0, 0, 7, 10, 20),
+		co(1, uc.OpDequeue, 0, 0, 7, 30, 40),
+	}
+	mustFail(t, CheckEpoch(QueueModel(), nil, ops2, nil, Options{}))
+	mustFail(t, CheckEpoch(QueueModel(), nil, ops2, nil, Options{Buffered: true, Allowance: 8}))
+}
+
+// A duplicated completed effect on the set: the same fresh-insert response
+// twice with no delete between them.
+func TestMutationDuplicatedFreshInsert(t *testing.T) {
+	ops := []Op{
+		co(0, uc.OpInsert, 9, 90, 1, 0, 10),
+		co(0, uc.OpInsert, 9, 90, 1, 20, 30), // must have returned 0
+	}
+	mustFail(t, CheckEpoch(SetModel(), nil, ops, nil, Options{}))
+}
+
+// A stack pop observing a value that a sequentially later push wrote.
+func TestMutationStackFutureValue(t *testing.T) {
+	ops := []Op{
+		co(0, uc.OpPop, 0, 0, 5, 0, 10),
+		co(1, uc.OpPush, 5, 0, 1, 20, 30),
+	}
+	mustFail(t, CheckEpoch(StackModel(), nil, ops, nil, Options{}))
+}
