@@ -44,6 +44,11 @@
 //     JSON document gains a per-cycle "check" block and a top-level
 //     "checker" summary (schema stays prepuc-crash/v2; all prior fields
 //     are unchanged).
+//   - -sweep N strides N nested crash points across one recovery, cloning
+//     the crashed machine copy-on-write per point instead of re-running the
+//     workload; each system's document entry gains an additive "sweep"
+//     block whose "timing" summary (wall_ms, clones, pages_copied) shows
+//     what the sweep cost the host. -sweep-stride overrides the stride.
 //
 // Besides the correctness verdicts, every cycle measures how long recovery
 // took in virtual time, how many log entries it replayed, and what the
@@ -79,24 +84,26 @@ import (
 )
 
 var (
-	iterations = flag.Int("iterations", 20, "crash/recover cycles per system")
-	workers    = flag.Int("workers", 8, "worker threads")
-	epsilon    = flag.Uint64("epsilon", 64, "PREP flush boundary increment ε")
-	logSize    = flag.Uint64("log", 256, "shared log entries")
-	seed       = flag.Int64("seed", 1, "base seed")
-	system     = flag.String("system", "all", "prep-durable, prep-buffered, cx, soft, onll or all")
-	format     = flag.String("format", "table", "output format: table or json")
-	outPath    = flag.String("o", "", "write results to this file (default stdout)")
-	policySpec = flag.String("policy", "", "fault policy for unfenced lines at crash: dropall, persistall, coinflip[=p], targeted[=k] (empty: built-in fair coin)")
-	nested     = flag.Int("nested", 0, "nested crashes to inject inside recovery, per cycle")
-	crashAtFlg = flag.Uint64("crash-at", 0, "pin the workload crash to this event index (0: per-iteration pseudo-random)")
-	nestedAt   = flag.Uint64("nested-at", 0, "pin nested crashes to this recovery event index (0: per-attempt pseudo-random)")
-	bisect     = flag.Bool("bisect", true, "on failure, bisect the crash point before printing the repro")
-	checkMode  = flag.String("check", "prefix", "correctness checker: prefix (per-worker key-prefix condition) or linearize (WGL durable-linearizability check of the recorded history)")
-	epochs     = flag.Int("epochs", 2, "chained crash/recover epochs per iteration (linearize checker only)")
-	jobs       = flag.Int("j", 0, "run up to N crash/recover cycles in parallel (0 = GOMAXPROCS)")
-	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+	iterations  = flag.Int("iterations", 20, "crash/recover cycles per system")
+	workers     = flag.Int("workers", 8, "worker threads")
+	epsilon     = flag.Uint64("epsilon", 64, "PREP flush boundary increment ε")
+	logSize     = flag.Uint64("log", 256, "shared log entries")
+	seed        = flag.Int64("seed", 1, "base seed")
+	system      = flag.String("system", "all", "prep-durable, prep-buffered, cx, soft, onll or all")
+	format      = flag.String("format", "table", "output format: table or json")
+	outPath     = flag.String("o", "", "write results to this file (default stdout)")
+	policySpec  = flag.String("policy", "", "fault policy for unfenced lines at crash: dropall, persistall, coinflip[=p], targeted[=k] (empty: built-in fair coin)")
+	nested      = flag.Int("nested", 0, "nested crashes to inject inside recovery, per cycle")
+	crashAtFlg  = flag.Uint64("crash-at", 0, "pin the workload crash to this event index (0: per-iteration pseudo-random)")
+	nestedAt    = flag.Uint64("nested-at", 0, "pin nested crashes to this recovery event index (0: per-attempt pseudo-random)")
+	bisect      = flag.Bool("bisect", true, "on failure, bisect the crash point before printing the repro")
+	checkMode   = flag.String("check", "prefix", "correctness checker: prefix (per-worker key-prefix condition) or linearize (WGL durable-linearizability check of the recorded history)")
+	epochs      = flag.Int("epochs", 2, "chained crash/recover epochs per iteration (linearize checker only)")
+	jobs        = flag.Int("j", 0, "run up to N crash/recover cycles in parallel (0 = GOMAXPROCS)")
+	sweepN      = flag.Int("sweep", 0, "per system, sweep N nested crash points inside one recovery via COW clones and report a timing block (0: off)")
+	sweepStride = flag.Uint64("sweep-stride", 0, "event stride between swept nested crash points (0: recovery_events/(sweep+1))")
+	cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 )
 
 // CrashSchema identifies the machine-readable crashtest output format.
@@ -179,10 +186,13 @@ type crashCycle struct {
 	Check            *checkBlock `json:"check,omitempty"`
 }
 
-// crashSystemDoc groups one system's cycles.
+// crashSystemDoc groups one system's cycles, plus its nested-recovery sweep
+// record when -sweep is on (additive; absent by default so the document is
+// unchanged for existing consumers).
 type crashSystemDoc struct {
 	System string       `json:"system"`
 	Cycles []crashCycle `json:"cycles"`
+	Sweep  *sweepBlock  `json:"sweep,omitempty"`
 }
 
 // crashDoc is the whole run.
@@ -290,6 +300,10 @@ func buildDoc(progress io.Writer) (crashDoc, int) {
 			}
 			seqOut.Done(i, func() { progress.Write(buf.Bytes()) })
 		})
+		if *sweepN > 0 {
+			sd.Sweep = runSweep(progress, mk)
+			failures += sd.Sweep.Failures
+		}
 		for _, c := range cycles {
 			if !c.OK {
 				failures++

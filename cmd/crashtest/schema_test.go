@@ -82,6 +82,66 @@ func TestSchemaGolden(t *testing.T) {
 	}
 }
 
+// TestSweepBlock covers the -sweep addition by field assertion rather than
+// golden bytes: timing.wall_ms is host wall-clock and nondeterministic, so
+// the block can never appear in a golden document — which is also why the
+// mode must stay off by default (the goldens above prove the default
+// document carries no "sweep" key).
+func TestSweepBlock(t *testing.T) {
+	withFlags(t, map[string]string{
+		"iterations": "1", "workers": "2", "epsilon": "16", "log": "128",
+		"seed": "42", "policy": "dropall", "j": "1",
+		"system": "prep-durable", "sweep": "4",
+	})
+	var progress bytes.Buffer
+	doc, failures := buildDoc(&progress)
+	if failures != 0 {
+		t.Fatalf("deterministic sweep run failed %d cycles/points:\n%s", failures, progress.String())
+	}
+	sw := doc.Systems[0].Sweep
+	if sw == nil {
+		t.Fatal("-sweep=4 produced no sweep block")
+	}
+	if sw.Points != 4 {
+		t.Errorf("sweep points = %d, want 4", sw.Points)
+	}
+	if sw.Stride == 0 || sw.RecoveryEvents == 0 {
+		t.Errorf("sweep stride=%d recovery_events=%d, want both nonzero", sw.Stride, sw.RecoveryEvents)
+	}
+	if sw.NestedCrashes == 0 {
+		t.Error("auto stride placed no point inside recovery")
+	}
+	// One clone per swept point plus the ceiling probe.
+	if want := uint64(sw.Points + 1); sw.Timing.Clones != want {
+		t.Errorf("timing.clones = %d, want %d", sw.Timing.Clones, want)
+	}
+	if sw.Timing.PagesCopied == 0 {
+		t.Error("timing.pages_copied = 0, want > 0 (recovery writes must privatize pages)")
+	}
+	// Wire names: the block is additive to prepuc-crash/v2 and its field
+	// spellings are contract.
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	swm := m["systems"].([]any)[0].(map[string]any)["sweep"].(map[string]any)
+	for _, k := range []string{"points", "stride", "recovery_events", "nested_crashes", "failures", "timing"} {
+		if _, ok := swm[k]; !ok {
+			t.Errorf("sweep block is missing field %q", k)
+		}
+	}
+	timing := swm["timing"].(map[string]any)
+	for _, k := range []string{"wall_ms", "clones", "pages_copied"} {
+		if _, ok := timing[k]; !ok {
+			t.Errorf("timing summary is missing field %q", k)
+		}
+	}
+}
+
 // TestSchemaRequiredFields guards the stability contract independently of
 // the golden bytes: the v1 field names and the v2/check additions must
 // survive any refactor of the Go structs.

@@ -1,0 +1,145 @@
+package main
+
+// The -sweep mode: a stride sweep of nested crash points INSIDE one
+// recovery, materialized with COW clones instead of re-running the workload
+// per point. One machine boots, runs the insert workload to a crash, and is
+// materialized once; every swept point then clones that base (O(pages
+// touched), thanks to the copy-on-write substrate), arms a crash at
+// k*stride recovery events, recovers through the nested crash and checks
+// the final state. The per-sweep timing summary (wall_ms, clones,
+// pages_copied) lands in the prepuc-crash/v2 document as an additive
+// "sweep" block; wall_ms is host time and therefore nondeterministic, which
+// is why the mode is off by default and absent from the golden documents.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"prepuc/internal/history"
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+)
+
+// sweepTiming is what the sweep cost on the host: wall-clock plus the COW
+// substrate's work counters (clones taken, pages privatized on write).
+type sweepTiming struct {
+	WallMS      float64 `json:"wall_ms"`
+	Clones      uint64  `json:"clones"`
+	PagesCopied uint64  `json:"pages_copied"`
+}
+
+// sweepBlock is one system's nested-recovery sweep record (additive to
+// schema v2; present only with -sweep > 0).
+type sweepBlock struct {
+	// Points is the number of swept nested crash points, Stride the event
+	// distance between them, RecoveryEvents the unperturbed recovery's event
+	// count (the sweep ceiling, measured on a clone).
+	Points         int    `json:"points"`
+	Stride         uint64 `json:"stride"`
+	RecoveryEvents uint64 `json:"recovery_events"`
+	// NestedCrashes counts the points whose armed crash actually landed
+	// inside recovery; Failures the points whose final recovered state
+	// violated the system's correctness condition.
+	NestedCrashes int         `json:"nested_crashes"`
+	Failures      int         `json:"failures"`
+	Timing        sweepTiming `json:"timing"`
+}
+
+// runSweep executes one system's nested-recovery crash sweep. It runs
+// serially: point k's verdict and the fault policy's decision stream are
+// then functions of the seed alone, so everything in the block except
+// wall_ms is deterministic.
+func runSweep(progress io.Writer, mk driverMaker) *sweepBlock {
+	start := time.Now()
+	d := mk()
+	base := *seed + 909 + d.offset
+	tp := topo()
+
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+	})
+	sys.SetFaultPolicy(cyclePolicy(0, base))
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { err = d.boot(t, sys) })
+	bootSch.Run()
+	if err != nil {
+		panic(err)
+	}
+
+	sch := sim.New(base + 1)
+	sch.CrashAtEvent(crashEvent(0))
+	sys.SetScheduler(sch)
+	if d.spawnAux != nil {
+		d.spawnAux()
+	}
+	completed := runInsertWorkers(sch, tp, *workers, d.exec)
+
+	// Materialize the crashed machine once; it is the shared base every
+	// swept point clones. Snapshot its substrate counters so the sweep
+	// reports only its own clone/copy work.
+	crashed := sys.Recover(sim.New(base + 2))
+	before := crashed.Metrics().Snapshot()
+
+	// Ceiling probe: recover a clone to completion with no crash armed to
+	// learn how many events an undisturbed recovery takes.
+	probeSch := sim.New(base + 3)
+	probe := crashed.Clone(probeSch)
+	pd := mk()
+	probeSch.Spawn("recover", 0, 0, func(t *sim.Thread) { _, err = pd.recov(t, probe) })
+	probeSch.Run()
+	if err != nil {
+		panic(err)
+	}
+	ceiling := probeSch.Events()
+
+	sb := &sweepBlock{Points: *sweepN, RecoveryEvents: ceiling}
+	sb.Stride = *sweepStride
+	if sb.Stride == 0 {
+		sb.Stride = ceiling / uint64(*sweepN+1)
+		if sb.Stride == 0 {
+			sb.Stride = 1
+		}
+	}
+	var pagesCopied uint64
+	for k := 1; k <= *sweepN; k++ {
+		at := sb.Stride * uint64(k)
+		trialSch := sim.New(base + 4 + int64(k)*13)
+		trial := crashed.Clone(trialSch)
+		trialSch.CrashAtEvent(at)
+		td := mk()
+		var terr error
+		trialSch.Spawn("recover", 0, 0, func(t *sim.Thread) { _, terr = td.recov(t, trial) })
+		trialSch.Run()
+		cur := trial
+		if trialSch.Frozen() {
+			// The armed crash landed inside recovery: materialize it and
+			// recover the re-crashed machine to completion.
+			sb.NestedCrashes++
+			afterSch := sim.New(base + 5 + int64(k)*13)
+			cur = cur.Recover(afterSch)
+			afterSch.Spawn("recover", 0, 0, func(t *sim.Thread) { _, terr = td.recov(t, cur) })
+			afterSch.Run()
+		}
+		if terr != nil {
+			panic(terr)
+		}
+		keys := probeKeys(cur, base+1000+int64(k)*13, completed, td.get)
+		if !d.ok(history.Check(keys, completed)) {
+			sb.Failures++
+		}
+		pagesCopied += cur.Metrics().Snapshot().PagesCopied - before.PagesCopied
+	}
+
+	after := crashed.Metrics().Snapshot()
+	sb.Timing = sweepTiming{
+		WallMS:      float64(time.Since(start).Microseconds()) / 1e3,
+		Clones:      after.Clones - before.Clones,
+		PagesCopied: pagesCopied + probe.Metrics().Snapshot().PagesCopied - before.PagesCopied,
+	}
+	fmt.Fprintf(progress, "  sweep: %d points stride=%d ceiling=%d nested=%d failures=%d clones=%d pages_copied=%d wall=%.1fms\n",
+		sb.Points, sb.Stride, sb.RecoveryEvents, sb.NestedCrashes, sb.Failures,
+		sb.Timing.Clones, sb.Timing.PagesCopied, sb.Timing.WallMS)
+	return sb
+}

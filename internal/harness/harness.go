@@ -172,7 +172,7 @@ func runPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64) (Poi
 		Threads:   threads,
 		Ops:       total,
 		OpsPerSec: float64(total) / (float64(sc.DurationNS) / 1e9),
-		Metrics:   sys.Metrics().Snapshot().Sub(base),
+		Metrics:   sys.Metrics().Snapshot().Sub(base).Wire(),
 	}, nil
 }
 

@@ -55,6 +55,18 @@ type Counters struct {
 	CrashLinesPersisted uint64 `json:"crash_lines_persisted"`
 	CrashLinesDropped   uint64 `json:"crash_lines_dropped"`
 
+	// Snapshot machinery (internal/nvm). Host-side substrate work, not
+	// simulated-hardware events, so these are excluded from the wire format
+	// (`json:"-"`): adding them must not change any byte of the bench or
+	// crashtest documents. Clones counts System.Clone calls; PagesCopied
+	// counts COW pages privatized on first write after a Clone/Recover;
+	// LinesScannedAtCrash counts pending (flushed-but-unfenced) lines
+	// examined by crash materializations — with an empty pending set,
+	// Recover short-circuits and the counter shows exactly zero scan work.
+	Clones              uint64 `json:"-"`
+	PagesCopied         uint64 `json:"-"`
+	LinesScannedAtCrash uint64 `json:"-"`
+
 	// Recovery (internal/core and the other constructions' Recover paths).
 	// RecoveryRestarts counts partially built generations a re-entrant
 	// recovery had to skip over (one per crash that hit a recovery run);
@@ -86,6 +98,15 @@ type Counters struct {
 	BoundaryReductions   uint64                   `json:"boundary_reductions"`
 	CrossNodeHelps       uint64                   `json:"cross_node_helps"`
 	UpdateNowServices    uint64                   `json:"update_now_services"`
+}
+
+// Wire returns the counters with the host-side substrate fields (`json:"-"`,
+// see above) zeroed: exactly what survives a marshal/unmarshal round-trip.
+// Document builders use it so a point carries only simulated-hardware
+// counters — host-side work is not part of the machine being measured.
+func (c Counters) Wire() Counters {
+	c.Clones, c.PagesCopied, c.LinesScannedAtCrash = 0, 0, 0
+	return c
 }
 
 // Registry is the live, mutable counter set of one simulated machine
@@ -136,6 +157,13 @@ func (r *Registry) Snapshot() Snapshot { return finish(r.Counters) }
 // over the delta. base must be an earlier snapshot of the same registry.
 func (s Snapshot) Sub(base Snapshot) Snapshot {
 	return finish(subCounters(s.Counters, base.Counters))
+}
+
+// Wire is Counters.Wire lifted to a snapshot: the result survives a JSON
+// round-trip unchanged.
+func (s Snapshot) Wire() Snapshot {
+	s.Counters = s.Counters.Wire()
+	return s
 }
 
 func finish(c Counters) Snapshot {

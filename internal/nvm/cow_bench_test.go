@@ -1,0 +1,78 @@
+package nvm
+
+import (
+	"testing"
+
+	"prepuc/internal/sim"
+)
+
+// The substrate's two snapshot-heavy host-side costs, recorded in
+// BENCH_wallclock.json and guarded by the CI bench-smoke job:
+//
+//   - BenchmarkSystemClone: materializing one crash-sweep copy of a machine
+//     with a large, mostly clean heap. Copy-on-write page sharing makes this
+//     O(pages) table work instead of O(words) slab copies.
+//   - BenchmarkPersistCycle: one persistence-thread checkpoint (WBINVD +
+//     fence) over the same heap shape. The dirty-line list makes the sweep
+//     O(dirty) instead of an O(lines) bitmap scan.
+
+// cloneBenchWords sizes the benchmark heap like a crashtest engine heap
+// (cmd/crashtest uses HeapWords 1<<21); only a small working set is dirty,
+// which is exactly the persistence-thread steady state between checkpoints.
+const cloneBenchWords = 1 << 21
+
+// dirtySomeLines stores into a spread of lines so the dirty set is non-empty
+// but far smaller than the heap.
+func dirtySomeLines(t *sim.Thread, m *Memory, lines uint64) {
+	stride := m.Words() / lines
+	stride -= stride % WordsPerLine
+	for i := uint64(0); i < lines; i++ {
+		m.Store(t, i*stride, i+1)
+	}
+}
+
+func BenchmarkSystemClone(b *testing.B) {
+	b.ReportAllocs()
+	sch := sim.New(1)
+	sys := NewSystem(sch, Config{Costs: sim.UnitCosts(), Seed: 7})
+	var m *Memory
+	sch.Spawn("t", 0, 0, func(t *sim.Thread) {
+		m = sys.NewMemory("heap", NVM, 0, cloneBenchWords)
+		sys.NewMemory("dram", Volatile, 0, cloneBenchWords/2)
+		f := sys.NewFlusher()
+		dirtySomeLines(t, m, 1024)
+		// Leave a few lines flushed-but-unfenced so the pending set is
+		// carried into every clone, as in a real crash snapshot.
+		for l := uint64(0); l < 8; l++ {
+			f.FlushLine(t, m, l*WordsPerLine)
+		}
+	})
+	sch.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Clone(sim.New(int64(i) + 2))
+	}
+}
+
+func BenchmarkPersistCycle(b *testing.B) {
+	b.ReportAllocs()
+	sch := sim.New(1)
+	sys := NewSystem(sch, Config{Costs: sim.DefaultCosts(), Seed: 7})
+	n := b.N
+	sch.Spawn("t", 0, 0, func(t *sim.Thread) {
+		m := sys.NewMemory("heap", NVM, 0, cloneBenchWords)
+		f := sys.NewFlusher()
+		b.ResetTimer()
+		for i := 0; i < n; i++ {
+			// One ε window's worth of updates lands on 64 lines, then the
+			// persistence thread writes the whole cache back and fences.
+			for l := uint64(0); l < 64; l++ {
+				off := ((uint64(i)*64 + l) * WordsPerLine) % cloneBenchWords
+				m.Store(t, off, uint64(i))
+			}
+			sys.WBINVD(t, m)
+			f.Fence(t)
+		}
+	})
+	sch.Run()
+}

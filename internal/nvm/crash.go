@@ -23,13 +23,25 @@ func (s *System) Crash() { s.sch.CrashNow() }
 // into the recovered system so an iterating adversary (fault.Targeted) keeps
 // its sweep state across nested crashes.
 //
+// The recovered memories share the crashed machine's persisted pages
+// copy-on-write, so materialization is O(pending lines + pages), not
+// O(heap). With an empty pending set no line is touched at all — the policy
+// still observes the (zero-length) crash so stateful adversaries advance —
+// and lines_scanned_at_crash counts the lines actually examined.
+//
 // Recover must only be called after the crashed scheduler has fully drained
 // (sim.Scheduler.Run returned).
 func (s *System) Recover(sch *sim.Scheduler) *System {
 	// Materialize unfenced asynchronous flushes. Pending lines are visited
 	// in flusher-creation then issue order, which is deterministic, so a
 	// policy's per-index decisions reproduce from the run's seed.
-	if s.policy == nil {
+	var total int
+	for _, f := range s.flushers {
+		total += len(f.pending)
+	}
+	s.met.LinesScannedAtCrash += uint64(total)
+	switch {
+	case s.policy == nil:
 		for _, f := range s.flushers {
 			for _, p := range f.pending {
 				if s.nextRand()&1 == 0 {
@@ -41,8 +53,13 @@ func (s *System) Recover(sch *sim.Scheduler) *System {
 			}
 			f.pending = nil
 		}
-	} else {
-		var pending []pendingFlush
+	case total == 0:
+		// Nothing to materialize, but a stateful policy (fault.Targeted)
+		// must still see this crash: its per-crash state advances even over
+		// an empty pending set.
+		s.policy.BeginCrash(0)
+	default:
+		pending := make([]pendingFlush, 0, total)
 		for _, f := range s.flushers {
 			pending = append(pending, f.pending...)
 			f.pending = nil
@@ -74,36 +91,45 @@ func (s *System) Recover(sch *sim.Scheduler) *System {
 		if m.kind != NVM {
 			continue
 		}
+		lines := m.words / WordsPerLine
 		nm := &Memory{
-			name:      m.name,
-			kind:      NVM,
-			home:      m.home,
-			sys:       ns,
-			data:      make([]uint64, len(m.persisted)),
-			persisted: make([]uint64, len(m.persisted)),
-			dirty:     make([]bool, len(m.dirty)),
-			owner:     make([]int32, len(m.owner)),
-			ownerNode: make([]int32, len(m.ownerNode)),
+			name: m.name,
+			kind: NVM,
+			home: m.home,
+			sys:  ns,
+			// Both views re-read the persisted media: two COW references to
+			// the crashed memory's persisted pages. Dirty, ownership and list
+			// state is volatile and restarts empty (all-zero slabs are fresh
+			// allocations, free at this granularity).
+			words:     m.words,
+			data:      m.persisted.share(&ns.met.PagesCopied),
+			persisted: m.persisted.share(&ns.met.PagesCopied),
+			dstate:    newZeroSlab[uint8](lines, &ns.met.PagesCopied),
+			owner:     newZeroSlab[int32](lines, &ns.met.PagesCopied),
+			ownerNode: newZeroSlab[int32](lines, &ns.met.PagesCopied),
 			bgState:   ns.nextRand() | 1,
 		}
-		for i := range nm.owner {
-			nm.owner[i] = ownerShared
-		}
-		copy(nm.data, m.persisted)
-		copy(nm.persisted, m.persisted)
 		ns.mems[nm.name] = nm
 		ns.order = append(ns.order, nm)
 	}
 	return ns
 }
 
-// Clone deep-copies the machine — every memory's current and persisted
-// views, pending flush sets, RNG states and a private copy of the metrics
-// registry — attached to the given scheduler. Crash-sweep harnesses use it
-// to materialize the same frozen machine many times, arming a different
-// crash point inside recovery on each copy, without re-running the workload
-// that produced the state.
+// Clone snapshots the machine — every memory's current and persisted views,
+// dirty and ownership state, pending flush sets, RNG states and a private
+// copy of the metrics registry — attached to the given scheduler. Memory
+// views are shared with the parent copy-on-write, so a clone costs O(page
+// tables), not O(words); pages privatize as either machine writes. Crash-
+// sweep harnesses use it to materialize the same frozen machine many times,
+// arming a different crash point inside recovery on each copy, without
+// re-running the workload that produced the state.
+//
+// Clone itself must not run concurrently with simulated access to the
+// parent (it repacks the parent's views into shared pages), but the
+// returned clone may then run on a different host goroutine than the parent
+// and its siblings — the page reference counts are the only shared state.
 func (s *System) Clone(sch *sim.Scheduler) *System {
+	s.met.Clones++
 	met := *s.met
 	ns := &System{
 		sch:      sch,
@@ -122,15 +148,17 @@ func (s *System) Clone(sch *sim.Scheduler) *System {
 			kind:      m.kind,
 			home:      m.home,
 			sys:       ns,
-			data:      append([]uint64(nil), m.data...),
-			owner:     append([]int32(nil), m.owner...),
-			ownerNode: append([]int32(nil), m.ownerNode...),
+			words:     m.words,
+			data:      m.data.share(&met.PagesCopied),
+			owner:     m.owner.share(&met.PagesCopied),
+			ownerNode: m.ownerNode.share(&met.PagesCopied),
 			bgState:   m.bgState,
 			stats:     m.stats,
 		}
 		if m.kind == NVM {
-			nm.persisted = append([]uint64(nil), m.persisted...)
-			nm.dirty = append([]bool(nil), m.dirty...)
+			nm.persisted = m.persisted.share(&met.PagesCopied)
+			nm.dstate = m.dstate.share(&met.PagesCopied)
+			nm.dirtyList = append([]uint64(nil), m.dirtyList...)
 		}
 		ns.mems[nm.name] = nm
 		ns.order = append(ns.order, nm)

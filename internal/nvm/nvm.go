@@ -71,28 +71,56 @@ type Stats struct {
 	WBINVDLinesWrittenBack uint64
 }
 
-// Memory is one simulated region. Offsets are word indices.
+// Memory is one simulated region. Offsets are word indices. All views live
+// in copy-on-write slabs (see cow.go) so cloning and crash recovery share
+// pages with the source machine instead of copying the region.
 type Memory struct {
 	name      string
 	kind      Kind
 	home      int // NUMA node, or Interleaved (metadata; see access costs)
 	sys       *System
-	data      []uint64 // current (cache/DRAM) view
-	persisted []uint64 // NVM view; nil for volatile memories
-	dirty     []bool   // per line; meaningful for NVM only
+	words     uint64
+	data      slab[uint64] // current (cache/DRAM) view
+	persisted slab[uint64] // NVM view; absent for volatile memories
+	// Dirty-line tracking (NVM only): dstate holds per-line lineDirty and
+	// lineListed bits; dirtyList records every line dirtied since the last
+	// full sweep, appended exactly once (the listed bit is membership).
+	// Individual write-backs clear only the dirty bit — their list entries
+	// go stale and are skipped by the next sweep — so WBINVD, FlushAllDirty
+	// and DirtyLines are O(lines dirtied since the last sweep), never
+	// O(region lines).
+	dstate    slab[uint8]
+	dirtyList []uint64
 	// MSI-style per-line ownership for coherence cost accounting: the
 	// thread id of the last writer, or ownerShared after a foreign load
 	// downgraded the line. Mutated-elsewhere lines charge a transfer on
 	// access; this is what makes contended locks expensive and per-node
 	// replicas cheap — the effect node replication exploits.
-	owner     []int32
-	ownerNode []int32
+	owner     slab[int32]
+	ownerNode slab[int32]
 	bgState   uint64 // xorshift state for background-flush draws
 	stats     Stats
 }
 
-// ownerShared marks a line readable by everyone without transfer cost.
-const ownerShared = int32(-1)
+// ownerShared marks a line readable by everyone without transfer cost. It is
+// the zero value so fresh owner slabs need no initialization pass; owned
+// lines store thread id + 1 (see ownerOf).
+const ownerShared = int32(0)
+
+// ownerOf encodes thread id t as a non-shared owner value.
+func ownerOf(t int) int32 { return int32(t) + 1 }
+
+// Per-line dirty-state bits.
+const (
+	lineDirty  = 1 << 0 // current view ahead of persisted view
+	lineListed = 1 << 1 // line has an entry in dirtyList
+)
+
+// debugFullScan switches DirtyLines and the dirty sweeps back to the
+// reference full-bitmap scan in index order. Test-only: the equivalence
+// suite runs every workload both ways and requires identical persisted
+// views, metrics and virtual clocks.
+var debugFullScan = false
 
 // System owns a set of memories and flushers, the latency model, and the
 // crash machinery. One System models one machine between two crashes.
@@ -188,22 +216,21 @@ func (s *System) NewMemory(name string, kind Kind, home int, words uint64) *Memo
 	if words%WordsPerLine != 0 {
 		words += WordsPerLine - words%WordsPerLine
 	}
+	lines := words / WordsPerLine
 	m := &Memory{
 		name:      name,
 		kind:      kind,
 		home:      home,
 		sys:       s,
-		data:      make([]uint64, words),
-		owner:     make([]int32, words/WordsPerLine),
-		ownerNode: make([]int32, words/WordsPerLine),
+		words:     words,
+		data:      newZeroSlab[uint64](words, &s.met.PagesCopied),
+		owner:     newZeroSlab[int32](lines, &s.met.PagesCopied),
+		ownerNode: newZeroSlab[int32](lines, &s.met.PagesCopied),
 		bgState:   s.nextRand() | 1,
 	}
-	for i := range m.owner {
-		m.owner[i] = ownerShared
-	}
 	if kind == NVM {
-		m.persisted = make([]uint64, words)
-		m.dirty = make([]bool, words/WordsPerLine)
+		m.persisted = newZeroSlab[uint64](words, &s.met.PagesCopied)
+		m.dstate = newZeroSlab[uint8](lines, &s.met.PagesCopied)
 	}
 	s.mems[name] = m
 	s.order = append(s.order, m)
@@ -241,7 +268,7 @@ func (m *Memory) Name() string { return m.name }
 func (m *Memory) Kind() Kind { return m.kind }
 
 // Words returns the region size in words.
-func (m *Memory) Words() uint64 { return uint64(len(m.data)) }
+func (m *Memory) Words() uint64 { return m.words }
 
 // Stats returns a copy of the region's event counters.
 func (m *Memory) Stats() Stats { return m.stats }
@@ -253,7 +280,7 @@ func (m *Memory) Metrics() *metrics.Registry { return m.sys.met }
 // transferCost prices acquiring a line currently owned by another thread:
 // an intra-node cache-to-cache transfer or a cross-socket one.
 func (m *Memory) transferCost(t *sim.Thread, line uint64) uint64 {
-	if int(m.ownerNode[line]) == t.Node() {
+	if int(m.ownerNode.load(line)) == t.Node() {
 		m.sys.met.CoherenceLocal++
 		return m.sys.costs.CoherenceLocal
 	}
@@ -268,9 +295,9 @@ func (m *Memory) loadCost(t *sim.Thread, line uint64) uint64 {
 	if m.kind == NVM {
 		cost += m.sys.costs.NVMLoadExtra
 	}
-	if own := m.owner[line]; own != ownerShared && own != int32(t.ID()) {
+	if own := m.owner.load(line); own != ownerShared && own != ownerOf(t.ID()) {
 		cost += m.transferCost(t, line)
-		m.owner[line] = ownerShared
+		m.owner.store(line, ownerShared)
 	}
 	return cost
 }
@@ -283,17 +310,20 @@ func (m *Memory) storeCost(t *sim.Thread, line uint64) uint64 {
 	if m.kind == NVM {
 		cost += m.sys.costs.NVMStoreExtra
 	}
-	switch own := m.owner[line]; {
-	case own == int32(t.ID()):
-		// already exclusive
+	switch own := m.owner.load(line); {
+	case own == ownerOf(t.ID()):
+		// already exclusive; ownership state is already exactly what the
+		// stores below would write, so skip them (a same-owner store must
+		// not privatize shared COW pages)
+		return cost
 	case own == ownerShared:
 		cost += m.sys.costs.CoherenceLocal // invalidate sharers
 		m.sys.met.CoherenceLocal++
 	default:
 		cost += m.transferCost(t, line)
 	}
-	m.owner[line] = int32(t.ID())
-	m.ownerNode[line] = int32(t.Node())
+	m.owner.store(line, ownerOf(t.ID()))
+	m.ownerNode.store(line, int32(t.Node()))
 	return cost
 }
 
@@ -302,7 +332,20 @@ func (m *Memory) Load(t *sim.Thread, off uint64) uint64 {
 	t.Step(m.loadCost(t, off/WordsPerLine))
 	m.stats.Loads++
 	m.sys.met.Loads++
-	return m.data[off]
+	return m.data.load(off)
+}
+
+// markDirty sets the line's dirty bit and enrolls it in the dirty list the
+// first time it is dirtied since the last full sweep.
+func (m *Memory) markDirty(line uint64) {
+	st := m.dstate.load(line)
+	if st&lineDirty != 0 {
+		return
+	}
+	if st&lineListed == 0 {
+		m.dirtyList = append(m.dirtyList, line)
+	}
+	m.dstate.store(line, lineDirty|lineListed)
 }
 
 // Store writes v to the word at off. For NVM memories the store dirties the
@@ -312,9 +355,9 @@ func (m *Memory) Store(t *sim.Thread, off uint64, v uint64) {
 	t.Step(m.storeCost(t, line))
 	m.stats.Stores++
 	m.sys.met.Stores++
-	m.data[off] = v
+	m.data.store(off, v)
 	if m.kind == NVM {
-		m.dirty[line] = true
+		m.markDirty(line)
 		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
 			m.persistLine(line)
 			m.stats.BGFlushes++
@@ -330,12 +373,12 @@ func (m *Memory) CAS(t *sim.Thread, off, old, new uint64) bool {
 	t.Step(m.storeCost(t, line))
 	m.stats.CASes++
 	m.sys.met.CASes++
-	if m.data[off] != old {
+	if m.data.load(off) != old {
 		return false
 	}
-	m.data[off] = new
+	m.data.store(off, new)
 	if m.kind == NVM {
-		m.dirty[line] = true
+		m.markDirty(line)
 		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
 			m.persistLine(line)
 			m.stats.BGFlushes++
@@ -354,16 +397,26 @@ func (m *Memory) nextBG() uint64 {
 	return x
 }
 
+// copyLine copies one line from the current view to the persisted view and
+// bumps the write-back counters, leaving dirty state to the caller.
+func (m *Memory) copyLine(line uint64) {
+	base := line * WordsPerLine
+	copy(m.persisted.wline(base, WordsPerLine), m.data.line(base, WordsPerLine))
+	m.stats.LinesWrittenBack++
+	m.sys.met.LinesWrittenBack++
+}
+
 // persistLine copies one line from the current view to the persisted view.
+// The line's dirty-list entry (if any) is left in place and skipped by the
+// next sweep.
 func (m *Memory) persistLine(line uint64) {
 	if m.kind != NVM {
 		panic("nvm: persistLine on volatile memory " + m.name)
 	}
-	base := line * WordsPerLine
-	copy(m.persisted[base:base+WordsPerLine], m.data[base:base+WordsPerLine])
-	m.dirty[line] = false
-	m.stats.LinesWrittenBack++
-	m.sys.met.LinesWrittenBack++
+	m.copyLine(line)
+	if st := m.dstate.load(line); st&lineDirty != 0 {
+		m.dstate.store(line, st&^uint8(lineDirty))
+	}
 }
 
 // PersistedLoad reads the persisted view directly. Only recovery code and
@@ -372,19 +425,63 @@ func (m *Memory) PersistedLoad(off uint64) uint64 {
 	if m.kind != NVM {
 		panic("nvm: PersistedLoad on volatile memory " + m.name)
 	}
-	return m.persisted[off]
+	return m.persisted.load(off)
 }
 
 // DirtyLines returns the number of lines modified since their last
-// write-back (NVM memories only).
+// write-back (NVM memories only). The dirty list holds every candidate, so
+// the count walks only lines dirtied since the last sweep; entries whose
+// line was individually written back in the meantime are stale and skipped.
 func (m *Memory) DirtyLines() uint64 {
 	var n uint64
-	for _, d := range m.dirty {
-		if d {
+	if debugFullScan {
+		for line := uint64(0); line < m.words/WordsPerLine; line++ {
+			if m.dstate.load(line)&lineDirty != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for _, line := range m.dirtyList {
+		if m.dstate.load(line)&lineDirty != 0 {
 			n++
 		}
 	}
 	return n
+}
+
+// sweepDirty writes back every dirty line, calling onLine per line written,
+// and resets the dirty list: after a sweep every line's dirty state is zero
+// and the list is empty. List order differs from index order, but per-line
+// write-backs are independent and draw no randomness, so the resulting
+// machine state is identical either way (the equivalence tests pin this).
+func (m *Memory) sweepDirty(onLine func()) {
+	if debugFullScan {
+		for line := uint64(0); line < m.words/WordsPerLine; line++ {
+			st := m.dstate.load(line)
+			if st&lineDirty != 0 {
+				m.copyLine(line)
+				if onLine != nil {
+					onLine()
+				}
+			}
+			if st != 0 {
+				m.dstate.store(line, 0)
+			}
+		}
+		m.dirtyList = m.dirtyList[:0]
+		return
+	}
+	for _, line := range m.dirtyList {
+		if m.dstate.load(line)&lineDirty != 0 {
+			m.copyLine(line)
+			if onLine != nil {
+				onLine()
+			}
+		}
+		m.dstate.store(line, 0)
+	}
+	m.dirtyList = m.dirtyList[:0]
 }
 
 // FlushRegion write-backs every line intersecting words [from, to) and
@@ -429,11 +526,7 @@ func (m *Memory) FlushAllDirty(t *sim.Thread) {
 	t.Step(m.sys.costs.FlushLine*lines + m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
 	m.sys.fences++
 	m.sys.met.Fences++
-	for line := range m.dirty {
-		if m.dirty[line] {
-			m.persistLine(uint64(line))
-		}
-	}
+	m.sweepDirty(nil)
 	m.stats.FlushAsync += lines
 	m.sys.met.FlushAsync += lines
 }
@@ -457,12 +550,10 @@ func (s *System) WBINVD(t *sim.Thread, mems ...*Memory) {
 	s.wbinvds++
 	s.met.WBINVDs++
 	for _, m := range mems {
-		for line := range m.dirty {
-			if m.dirty[line] {
-				m.persistLine(uint64(line))
-				m.stats.WBINVDLinesWrittenBack++
-				s.met.WBINVDLines++
-			}
-		}
+		m := m
+		m.sweepDirty(func() {
+			m.stats.WBINVDLinesWrittenBack++
+			s.met.WBINVDLines++
+		})
 	}
 }

@@ -483,8 +483,8 @@ func TestConcurrentStoresFromManyThreads(t *testing.T) {
 	_ = sch2
 	// verify final values directly (scheduler drained)
 	for w := uint64(0); w < n; w++ {
-		if m.data[w] != 100 {
-			t.Errorf("word %d = %d, want 100", w, m.data[w])
+		if got := m.data.load(w); got != 100 {
+			t.Errorf("word %d = %d, want 100", w, got)
 		}
 	}
 }
@@ -508,7 +508,7 @@ func TestCASContention(t *testing.T) {
 		})
 	}
 	sch.Run()
-	if m.data[0] != n*per {
-		t.Errorf("counter = %d, want %d", m.data[0], n*per)
+	if got := m.data.load(0); got != n*per {
+		t.Errorf("counter = %d, want %d", got, n*per)
 	}
 }
