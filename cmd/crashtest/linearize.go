@@ -111,7 +111,7 @@ func runLinearizeCycle(mk driverMaker, iter int, crashAt uint64) (checkBlock, cy
 		cur.SetScheduler(probeSch)
 		probeSch.Spawn("probe", 0, 0, func(t *sim.Thread) {
 			for k := uint64(0); k < linKeyRange; k++ {
-				if v := d.exec(t, 0, uc.Op{Code: uc.OpGet, A0: k}); v != uc.NotFound {
+				if v := d.exec(t, 0, uc.Get(k)); v != uc.NotFound {
 					recovered[k] = v
 				}
 			}

@@ -626,7 +626,7 @@ func runInsertWorkers(sch *sim.Scheduler, tp numa.Topology, n int,
 				}
 			}()
 			for i := uint64(0); ; i++ {
-				exec(t, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				exec(t, tid, uc.Insert(history.Key(tid, i), i))
 				completed[tid] = i + 1
 			}
 		})
@@ -691,7 +691,7 @@ func prepDriver(mode core.Mode) driverMaker {
 		}
 		d.exec = func(t *sim.Thread, tid int, op uc.Op) uint64 { return cur.Execute(t, tid, op) }
 		d.get = func(t *sim.Thread, key uint64) bool {
-			return cur.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+			return cur.Execute(t, 0, uc.Get(key)) != uc.NotFound
 		}
 		return d
 	}
@@ -721,7 +721,7 @@ func cxDriver() *driver {
 	}
 	d.exec = func(t *sim.Thread, tid int, op uc.Op) uint64 { return cur.Execute(t, tid, op) }
 	d.get = func(t *sim.Thread, key uint64) bool {
-		return cur.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+		return cur.Execute(t, 0, uc.Get(key)) != uc.NotFound
 	}
 	return d
 }
@@ -769,7 +769,7 @@ func onllDriver() *driver {
 	}
 	d.exec = func(t *sim.Thread, tid int, op uc.Op) uint64 { return cur.Execute(t, tid, op) }
 	d.get = func(t *sim.Thread, key uint64) bool {
-		return cur.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: key}) != uc.NotFound
+		return cur.Execute(t, 0, uc.Get(key)) != uc.NotFound
 	}
 	return d
 }

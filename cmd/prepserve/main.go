@@ -1,0 +1,182 @@
+// Command prepserve drives the asynchronous service front-end
+// (internal/svc) with an open-loop heavy-traffic workload
+// (internal/openloop): a large simulated client population submits
+// operations on a Poisson arrival process with Zipfian key skew, periodic
+// bursts and think times, and every completion's latency is measured from
+// its arrival stamp — free of coordinated omission, so server stalls are
+// charged to the percentiles.
+//
+// Two scenarios:
+//
+//	steady  the full schedule runs against an undisturbed machine;
+//	crash   the whole machine freezes mid-load at -crash-at, the
+//	        construction recovers, the (volatile) submission rings are
+//	        rebuilt, and the load resumes: in-flight operations are
+//	        retried, the outage window's arrivals are charged their full
+//	        queueing delay, and the report carries the recovery stall
+//	        window and backlog drain time.
+//
+// Both scenarios run against all five recoverable constructions
+// (PREP-Durable, PREP-Buffered, CX-PUC, SOFT, ONLL) unless -system narrows
+// the set. -format json emits one machine-readable document with schema
+// "prepuc-serve/v1".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prepuc/internal/harness"
+	"prepuc/internal/openloop"
+)
+
+var (
+	scenario = flag.String("scenario", "steady", "steady or crash")
+	system   = flag.String("system", "all", "prep-durable, prep-buffered, cx, soft, onll or all")
+	shards   = flag.Int("shards", 4, "submission rings / consumer threads (engine workers)")
+	ringSize = flag.Uint64("ring", 1024, "per-shard ring capacity (power of two)")
+	maxBatch = flag.Int("batch", 32, "max operations per combiner handoff")
+	batched  = flag.Bool("batched", true, "use the batched submission path where the engine supports it")
+	epsilon  = flag.Uint64("epsilon", 64, "PREP flush boundary increment ε")
+
+	clients  = flag.Int("clients", 200_000, "simulated client population")
+	keys     = flag.Uint64("keys", 1<<16, "key-space size")
+	skew     = flag.Float64("skew", 1.2, "Zipf key-skew exponent (≤1: uniform)")
+	readPct  = flag.Int("readpct", 80, "percentage of read-only operations")
+	rate     = flag.Float64("rate", 4e6, "aggregate arrival rate (ops per virtual second)")
+	duration = flag.Uint64("duration", 3_000_000, "schedule horizon in virtual ns")
+	thinkNS  = flag.Uint64("think", 50_000, "per-client think time in virtual ns")
+	burstEv  = flag.Uint64("burst-every", 500_000, "burst period in virtual ns (0: no bursts)")
+	burstLen = flag.Uint64("burst-len", 100_000, "burst length in virtual ns")
+	burstX   = flag.Float64("burst-factor", 4, "arrival-rate multiplier inside bursts")
+
+	crashAt = flag.Uint64("crash-at", 0, "crash instant in virtual ns (0: duration/2; crash scenario only)")
+	seed    = flag.Int64("seed", 1, "base seed")
+	format  = flag.String("format", "table", "output format: table or json")
+	outPath = flag.String("o", "", "write results to this file (default stdout)")
+)
+
+// ServeSchema identifies the machine-readable prepserve output format.
+const ServeSchema = "prepuc-serve/v1"
+
+// serveDoc is the whole run.
+type serveDoc struct {
+	Schema            string                 `json:"schema"`
+	Scenario          string                 `json:"scenario"`
+	Clients           int                    `json:"clients"`
+	RateOpsPerSec     float64                `json:"rate_ops_per_sec"`
+	DurationVirtualNS uint64                 `json:"duration_virtual_ns"`
+	Shards            int                    `json:"shards"`
+	Batched           bool                   `json:"batched"`
+	Seed              int64                  `json:"seed"`
+	Systems           []*harness.ServeResult `json:"systems"`
+}
+
+// systemFlag maps driver names to their -system spellings.
+func systemFlag(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), "-puc", "")
+}
+
+func main() {
+	flag.Parse()
+	if *scenario != "steady" && *scenario != "crash" {
+		fmt.Fprintf(os.Stderr, "prepserve: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	cfg := harness.ServeConfig{
+		Shards:   *shards,
+		RingSize: *ringSize,
+		MaxBatch: *maxBatch,
+		Batched:  *batched,
+		Seed:     *seed,
+		Open: openloop.Config{
+			Clients:      *clients,
+			Keys:         *keys,
+			KeySkew:      *skew,
+			ReadPct:      *readPct,
+			Rate:         *rate,
+			DurationNS:   *duration,
+			ThinkNS:      *thinkNS,
+			BurstEveryNS: *burstEv,
+			BurstLenNS:   *burstLen,
+			BurstFactor:  *burstX,
+			Seed:         *seed + 1000,
+		},
+	}
+	if *scenario == "crash" {
+		cfg.CrashAtNS = *crashAt
+		if cfg.CrashAtNS == 0 {
+			cfg.CrashAtNS = *duration / 2
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prepserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	doc := serveDoc{
+		Schema: ServeSchema, Scenario: *scenario,
+		Clients: *clients, RateOpsPerSec: *rate,
+		DurationVirtualNS: *duration, Shards: *shards,
+		Batched: *batched, Seed: *seed,
+	}
+	for _, d := range harness.ServeDrivers(*shards, *epsilon) {
+		if *system != "all" && *system != systemFlag(d.Name) {
+			continue
+		}
+		res, err := harness.RunServe(d, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prepserve: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Systems = append(doc.Systems, res)
+		if *format != "json" {
+			printResult(out, res)
+		}
+	}
+	if len(doc.Systems) == 0 {
+		fmt.Fprintf(os.Stderr, "prepserve: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "prepserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printResult renders one system's record as the human table.
+func printResult(w io.Writer, r *harness.ServeResult) {
+	fmt.Fprintf(w, "%-14s  %9.0f ops/s  completed=%d/%d\n",
+		r.System, r.OpsPerSec, r.Completed, r.Submitted)
+	fmt.Fprintf(w, "  latency(ns): p50=%d p99=%d p999=%d max=%d mean=%.0f\n",
+		r.Latency.P50, r.Latency.P99, r.Latency.P999, r.Latency.Max, r.Latency.Mean)
+	if r.Ring.Batches > 0 {
+		fmt.Fprintf(w, "  ring: submits=%d full_stalls=%d mean_batch=%.1f\n",
+			r.Ring.Submits, r.Ring.FullStalls, r.Ring.MeanBatch)
+	} else {
+		fmt.Fprintf(w, "  ring: submits=%d full_stalls=%d (per-op path)\n",
+			r.Ring.Submits, r.Ring.FullStalls)
+	}
+	if c := r.Crash; c != nil {
+		fmt.Fprintf(w, "  crash@%d: recovery=%.3fms(virtual) replayed=%d stall=%.3fms lost_inflight=%d backlog=%d drain=%.3fms\n",
+			c.CrashAtNS, float64(c.RecoveryVirtualNS)/1e6, c.Replayed,
+			float64(c.StallNS)/1e6, c.LostInflight, c.BacklogAtResume,
+			float64(c.BacklogDrainNS)/1e6)
+	}
+}

@@ -68,7 +68,7 @@ func run(single bool, seed int64) (history.Report, bool) {
 				}
 			}()
 			for i := uint64(0); ; i++ {
-				p.Execute(t, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				p.Execute(t, tid, uc.Insert(history.Key(tid, i), i))
 				completed[tid] = i + 1
 			}
 		})
@@ -100,7 +100,7 @@ func run(single bool, seed int64) (history.Report, bool) {
 			n := completed[tid] + 32
 			keys[tid] = make([]bool, n)
 			for i := uint64(0); i < n; i++ {
-				keys[tid][i] = rec.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)}) != uc.NotFound
+				keys[tid][i] = rec.Execute(t, 0, uc.Get(history.Key(tid, i))) != uc.NotFound
 			}
 		}
 	})

@@ -71,7 +71,7 @@ func main() {
 				}
 			}()
 			for i := uint64(0); ; i++ {
-				store.Execute(t, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				store.Execute(t, tid, uc.Insert(history.Key(tid, i), i))
 				acked[tid] = i + 1 // PUT acknowledged to the client
 			}
 		})
@@ -106,7 +106,7 @@ func main() {
 	verifySch.Spawn("verify", 0, 0, func(t *sim.Thread) {
 		for tid := 0; tid < workers; tid++ {
 			for i := uint64(0); i < acked[tid]; i++ {
-				if recovered.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)}) == uc.NotFound {
+				if recovered.Execute(t, 0, uc.Get(history.Key(tid, i))) == uc.NotFound {
 					lost++
 				}
 			}
@@ -134,7 +134,7 @@ func main() {
 			}()
 			for i := uint64(0); i < 200; i++ {
 				k := uint64(1)<<62 | history.Key(tid, i)
-				recovered.Execute(t, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: i})
+				recovered.Execute(t, tid, uc.Insert(k, i))
 			}
 		})
 	}

@@ -66,10 +66,10 @@ func main() {
 			}()
 			for i := uint64(0); i < perWorker; i++ {
 				key := uint64(tid)*1_000_000 + i
-				p.Execute(t, tid, uc.Op{Code: uc.OpInsert, A0: key, A1: key * 2})
+				p.Execute(t, tid, uc.Insert(key, key * 2))
 				// Read-only operations take the local replica's reader lock
 				// and never touch the log.
-				if got := p.Execute(t, tid, uc.Op{Code: uc.OpGet, A0: key}); got != key*2 {
+				if got := p.Execute(t, tid, uc.Get(key)); got != key*2 {
 					log.Fatalf("read own write: got %d", got)
 				}
 			}
@@ -81,7 +81,7 @@ func main() {
 	checkSch := sim.New(3)
 	sys.SetScheduler(checkSch)
 	checkSch.Spawn("check", 0, 0, func(t *sim.Thread) {
-		size := p.Execute(t, 0, uc.Op{Code: uc.OpSize})
+		size := p.Execute(t, 0, uc.Size())
 		fmt.Printf("final size: %d (expected %d)\n", size, cfg.Workers*perWorker)
 		st := p.Stats()
 		fmt.Printf("updates: %d  reads: %d  combines: %d (avg batch %.1f)  persistence cycles: %d\n",

@@ -71,7 +71,7 @@ func main() {
 			}()
 			for i := uint64(0); ; i++ {
 				prio := (i*7 + uint64(pid)) % 100
-				q.Execute(t, pid, uc.Op{Code: uc.OpEnqueue, A0: task(prio, uint64(pid)<<12|i)})
+				q.Execute(t, pid, uc.Enqueue(task(prio, uint64(pid)<<12|i)))
 				submitted[pid] = i + 1
 			}
 		})
@@ -86,7 +86,7 @@ func main() {
 				}
 			}()
 			for {
-				if q.Execute(t, tid, uc.Op{Code: uc.OpDeleteMin}) != uc.NotFound {
+				if q.Execute(t, tid, uc.DeleteMin()) != uc.NotFound {
 					processed[c]++
 				}
 			}
@@ -125,13 +125,13 @@ func main() {
 	rq.SpawnPersistence(0)
 	checkSch.Spawn("check", 0, 0, func(t *sim.Thread) {
 		defer rq.StopPersistence(t)
-		size := rq.Execute(t, 0, uc.Op{Code: uc.OpSize})
+		size := rq.Execute(t, 0, uc.Size())
 		fmt.Printf("recovered queue holds %d pending tasks\n", size)
 		// Drain in priority order to show the heap is intact.
 		prev := uint64(0)
 		popped := 0
 		for {
-			v := rq.Execute(t, 0, uc.Op{Code: uc.OpDeleteMin})
+			v := rq.Execute(t, 0, uc.DeleteMin())
 			if v == uc.NotFound {
 				break
 			}

@@ -100,19 +100,19 @@ func TestVolatileSingleWorkerSequential(t *testing.T) {
 	w := newWorld(t, hashCfg(Volatile, 1, 256, 0), nvm.Config{}, 1)
 	w.runWorkers(1, 0, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 50; k++ {
-			if got := w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k * 2}); got != 1 {
+			if got := w.p.Execute(th, tid, uc.Insert(k, k * 2)); got != 1 {
 				t.Errorf("insert(%d) = %d, want 1", k, got)
 			}
 		}
 		for k := uint64(0); k < 50; k++ {
-			if got := w.p.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k}); got != k*2 {
+			if got := w.p.Execute(th, tid, uc.Get(k)); got != k*2 {
 				t.Errorf("get(%d) = %d, want %d", k, got, k*2)
 			}
 		}
-		if got := w.p.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: 7}); got != 1 {
+		if got := w.p.Execute(th, tid, uc.Delete(7)); got != 1 {
 			t.Errorf("delete = %d, want 1", got)
 		}
-		if got := w.p.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: 7}); got != uc.NotFound {
+		if got := w.p.Execute(th, tid, uc.Get(7)); got != uc.NotFound {
 			t.Errorf("get deleted = %d", got)
 		}
 	})
@@ -124,19 +124,19 @@ func TestVolatileConcurrentDistinctKeys(t *testing.T) {
 	w.runWorkers(workers, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < perWorker; i++ {
 			k := uint64(tid)*1000 + i
-			if got := w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k + 7}); got != 1 {
+			if got := w.p.Execute(th, tid, uc.Insert(k, k + 7)); got != 1 {
 				t.Errorf("worker %d insert(%d) = %d", tid, k, got)
 			}
 		}
 	})
 	w.query(func(th *sim.Thread) {
-		if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != workers*perWorker {
+		if got := w.p.Execute(th, 0, uc.Size()); got != workers*perWorker {
 			t.Errorf("size = %d, want %d", got, workers*perWorker)
 		}
 		for tid := 0; tid < workers; tid++ {
 			for i := uint64(0); i < perWorker; i++ {
 				k := uint64(tid)*1000 + i
-				if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k+7 {
+				if got := w.p.Execute(th, 0, uc.Get(k)); got != k+7 {
 					t.Errorf("get(%d) = %d, want %d", k, got, k+7)
 				}
 			}
@@ -154,8 +154,8 @@ func TestReadsSeeCompletedUpdates(t *testing.T) {
 		// written, alternating; reads of its own completed writes must hit.
 		for i := uint64(0); i < 40; i++ {
 			k := uint64(tid)*100 + i
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
-			if got := w.p.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+			w.p.Execute(th, tid, uc.Insert(k, k))
+			if got := w.p.Execute(th, tid, uc.Get(k)); got != k {
 				t.Errorf("worker %d read own write %d: got %d", tid, k, got)
 			}
 		}
@@ -176,8 +176,8 @@ func TestStackResponsesLinearizable(t *testing.T) {
 		popped[tid] = map[uint64]int{}
 		for i := uint64(0); i < pairs; i++ {
 			v := uint64(tid)*1000 + i + 1
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpPush, A0: v})
-			res := w.p.Execute(th, tid, uc.Op{Code: uc.OpPop})
+			w.p.Execute(th, tid, uc.Push(v))
+			res := w.p.Execute(th, tid, uc.Pop())
 			if res == uc.NotFound {
 				emptyPops[tid]++
 			} else {
@@ -204,7 +204,7 @@ func TestStackResponsesLinearizable(t *testing.T) {
 	}
 	var finalSize uint64
 	w.query(func(th *sim.Thread) {
-		finalSize = w.p.Execute(th, 0, uc.Op{Code: uc.OpSize})
+		finalSize = w.p.Execute(th, 0, uc.Size())
 	})
 	if uint64(totalPopped)+finalSize != workers*pairs {
 		t.Errorf("pushed %d, popped %d, remaining %d: accounting broken",
@@ -220,11 +220,11 @@ func TestLogWrapsManyTimes(t *testing.T) {
 	w.runWorkers(workers, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < perWorker; i++ {
 			k := uint64(tid)*1000 + i
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.p.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	w.query(func(th *sim.Thread) {
-		if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != workers*perWorker {
+		if got := w.p.Execute(th, 0, uc.Size()); got != workers*perWorker {
 			t.Errorf("size = %d, want %d", got, workers*perWorker)
 		}
 		if tail := w.p.Log().LogTail(th); tail != workers*perWorker {
@@ -240,14 +240,14 @@ func TestBufferedRunsAndPersists(t *testing.T) {
 	w.runWorkers(workers, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < perWorker; i++ {
 			k := uint64(tid)*1000 + i
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.p.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	if w.p.Stats().PersistCycles == 0 {
 		t.Error("no persistence cycles despite ops >> ε")
 	}
 	w.query(func(th *sim.Thread) {
-		if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != workers*perWorker {
+		if got := w.p.Execute(th, 0, uc.Size()); got != workers*perWorker {
 			t.Errorf("size = %d, want %d", got, workers*perWorker)
 		}
 	})
@@ -260,13 +260,13 @@ func TestDurableRunsCorrectly(t *testing.T) {
 	w.runWorkers(workers, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < perWorker; i++ {
 			k := uint64(tid)*1000 + i
-			if got := w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k}); got != 1 {
+			if got := w.p.Execute(th, tid, uc.Insert(k, k)); got != 1 {
 				t.Errorf("insert = %d", got)
 			}
 		}
 	})
 	w.query(func(th *sim.Thread) {
-		if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != workers*perWorker {
+		if got := w.p.Execute(th, 0, uc.Size()); got != workers*perWorker {
 			t.Errorf("size = %d, want %d", got, workers*perWorker)
 		}
 	})
@@ -289,7 +289,7 @@ func crashAndRecover(t *testing.T, cfg Config, nvmCfg nvm.Config, seed int64, wo
 	sch := w.runWorkers(workers, crashAt, func(th *sim.Thread, tid int) {
 		for i := uint64(0); ; i++ {
 			k := uint64(tid)<<32 | i
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.p.Execute(th, tid, uc.Insert(k, k))
 			res.completed[tid] = i + 1
 		}
 	})
@@ -321,7 +321,7 @@ func recoveredKeys(t *testing.T, res *crashResult, workers int) [][]bool {
 			out[tid] = make([]bool, n)
 			for i := uint64(0); i < n; i++ {
 				k := uint64(tid)<<32 | i
-				got := res.rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k})
+				got := res.rec.Execute(th, 0, uc.Get(k))
 				out[tid][i] = got != uc.NotFound
 			}
 		}
@@ -395,7 +395,7 @@ func TestCrashBeforeFirstCycleRecoversEmpty(t *testing.T) {
 	sch := sim.New(99)
 	res.recSys.SetScheduler(sch)
 	sch.Spawn("inspect", 0, 0, func(th *sim.Thread) {
-		size := res.rec.Execute(th, 0, uc.Op{Code: uc.OpSize})
+		size := res.rec.Execute(th, 0, uc.Size())
 		// Buffered: possibly everything lost; state must still be a valid
 		// (small) prefix.
 		if size > cfg.Epsilon+uint64(testTopo().ThreadsPerNode) {
@@ -425,7 +425,7 @@ func TestRecoveredEngineIsUsable(t *testing.T) {
 			}()
 			for i := uint64(0); i < 50; i++ {
 				k := 1<<62 | uint64(tid)<<40 | i
-				if got := res.rec.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k}); got != 1 {
+				if got := res.rec.Execute(th, tid, uc.Insert(k, k)); got != 1 {
 					t.Errorf("post-recovery insert = %d", got)
 				}
 			}
@@ -438,7 +438,7 @@ func TestRecoveredEngineIsUsable(t *testing.T) {
 		for tid := 0; tid < workers; tid++ {
 			for i := uint64(0); i < 50; i++ {
 				k := 1<<62 | uint64(tid)<<40 | i
-				if got := res.rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+				if got := res.rec.Execute(th, 0, uc.Get(k)); got != k {
 					t.Errorf("post-recovery get(%d) = %d", k, got)
 				}
 			}
@@ -467,7 +467,7 @@ func TestDoubleCrash(t *testing.T) {
 			}()
 			for i := uint64(0); ; i++ {
 				k := 1<<62 | uint64(tid)<<40 | i
-				res.rec.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+				res.rec.Execute(th, tid, uc.Insert(k, k))
 				completed2[tid] = i + 1
 			}
 		})
@@ -495,7 +495,7 @@ func TestDoubleCrash(t *testing.T) {
 		for tid := 0; tid < workers; tid++ {
 			for i := uint64(0); i < completed2[tid]; i++ {
 				k := 1<<62 | uint64(tid)<<40 | i
-				if got := rec2.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+				if got := rec2.Execute(th, 0, uc.Get(k)); got != k {
 					t.Errorf("op (%d,%d) completed before 2nd crash but lost", tid, i)
 				}
 			}
@@ -560,11 +560,11 @@ func TestAblationVariantsRun(t *testing.T) {
 			w.runWorkers(workers, 0, func(th *sim.Thread, tid int) {
 				for i := uint64(0); i < perWorker; i++ {
 					k := uint64(tid)*1000 + i
-					w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+					w.p.Execute(th, tid, uc.Insert(k, k))
 				}
 			})
 			w.query(func(th *sim.Thread) {
-				if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != workers*perWorker {
+				if got := w.p.Execute(th, 0, uc.Size()); got != workers*perWorker {
 					t.Errorf("size = %d, want %d", got, workers*perWorker)
 				}
 			})
@@ -616,7 +616,7 @@ func TestEpsilonGatesLogGrowth(t *testing.T) {
 	w.runWorkers(workers, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < perWorker; i++ {
 			k := uint64(tid)*1000 + i
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.p.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	totalUpdates := uint64(workers * perWorker)

@@ -17,7 +17,7 @@ func TestReaderHelpsWhenNoCombiner(t *testing.T) {
 	// Phase 1: single worker on node 0 performs updates.
 	w.runWorkers(1, 0, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 30; k++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.p.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	// Phase 2: a reader pinned to node 1 (tid 4 with β=4) reads; node 1's
@@ -26,7 +26,7 @@ func TestReaderHelpsWhenNoCombiner(t *testing.T) {
 	w.sys.SetScheduler(sch)
 	sch.Spawn("reader", 1, 0, func(th *sim.Thread) {
 		for k := uint64(0); k < 30; k++ {
-			if got := w.p.Execute(th, 4, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+			if got := w.p.Execute(th, 4, uc.Get(k)); got != k {
 				t.Errorf("reader on stale node: get(%d) = %d", k, got)
 			}
 		}
@@ -43,18 +43,18 @@ func TestCrossNodeHelpWhenNodeQuiescent(t *testing.T) {
 	// First touch node 1's replica so it exists and is behind, then go idle.
 	w.runWorkers(8, 0, func(th *sim.Thread, tid int) {
 		if tid >= 4 { // node 1 workers do one op then stop
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: 9999 + uint64(tid), A1: 1})
+			w.p.Execute(th, tid, uc.Insert(9999 + uint64(tid), 1))
 			return
 		}
 		for i := uint64(0); i < 200; i++ { // node 0 wraps the log many times
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*1000 + i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)*1000 + i, i))
 		}
 	})
 	if w.p.Stats().CrossNodeHelps == 0 {
 		t.Log("note: run completed without cross-node helps (updateReplicaNow sufficed)")
 	}
 	w.query(func(th *sim.Thread) {
-		if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != 4*200+4 {
+		if got := w.p.Execute(th, 0, uc.Size()); got != 4*200+4 {
 			t.Errorf("size = %d, want %d", got, 4*200+4)
 		}
 	})
@@ -68,13 +68,13 @@ func TestBoundaryReductionUnblocksStablePReplica(t *testing.T) {
 	w := newWorld(t, cfg, nvm.Config{Costs: sim.UnitCosts()}, 303)
 	w.runWorkers(8, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 100; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*1000 + i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)*1000 + i, i))
 		}
 	})
 	// The run completing at all (log of 64, 800 updates, two p-replicas)
 	// proves the unblocking machinery works; check the state too.
 	w.query(func(th *sim.Thread) {
-		if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != 800 {
+		if got := w.p.Execute(th, 0, uc.Size()); got != 800 {
 			t.Errorf("size = %d, want 800", got)
 		}
 	})
@@ -90,7 +90,7 @@ func TestBatchingCollectsConcurrentOps(t *testing.T) {
 	w := newWorld(t, hashCfg(Volatile, 8, 1024, 0), nvm.Config{Costs: sim.UnitCosts()}, 304)
 	w.runWorkers(8, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 100; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*1000 + i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)*1000 + i, i))
 		}
 	})
 	st := w.p.Stats()
@@ -110,7 +110,7 @@ func TestNoBatchingAblationBatchesExactlyOne(t *testing.T) {
 	w := newWorld(t, cfg, nvm.Config{Costs: sim.UnitCosts()}, 305)
 	w.runWorkers(8, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 50; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*1000 + i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)*1000 + i, i))
 		}
 	})
 	st := w.p.Stats()
@@ -126,7 +126,7 @@ func TestPersistenceThreadTracksCompletedTail(t *testing.T) {
 	w := newWorld(t, cfg, nvm.Config{Costs: sim.UnitCosts()}, 306)
 	w.runWorkers(4, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 150; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*1000 + i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)*1000 + i, i))
 		}
 	})
 	// After a clean run both p-replica states must replay-match the full
@@ -145,7 +145,7 @@ func TestPersistenceThreadTracksCompletedTail(t *testing.T) {
 	sch := sim.New(308)
 	recSys.SetScheduler(sch)
 	sch.Spawn("chk", 0, 0, func(th *sim.Thread) {
-		size := rec.Execute(th, 0, uc.Op{Code: uc.OpSize})
+		size := rec.Execute(th, 0, uc.Size())
 		// Buffered: at most ε+β−1 of the 600 updates may be missing even on
 		// a clean shutdown (the tail may not have been checkpointed).
 		min := uint64(600) - (cfg.Epsilon + uint64(testTopo().ThreadsPerNode) - 1)
@@ -192,7 +192,7 @@ func TestDurableFlushesLogEntries(t *testing.T) {
 	w := newWorld(t, cfg, nvm.Config{Costs: sim.UnitCosts()}, 311)
 	w.runWorkers(4, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 50; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*1000 + i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)*1000 + i, i))
 		}
 	})
 	l := w.p.Log()
@@ -235,7 +235,7 @@ func TestSeqDataStructuresAcrossEngine(t *testing.T) {
 				}
 			})
 			w.query(func(th *sim.Thread) {
-				if got := w.p.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != tc.wantSize {
+				if got := w.p.Execute(th, 0, uc.Size()); got != tc.wantSize {
 					t.Errorf("size = %d, want %d", got, tc.wantSize)
 				}
 			})

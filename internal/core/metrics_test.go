@@ -34,7 +34,7 @@ func TestDurableFencesPerBatch(t *testing.T) {
 	const ops = 3
 	runBare(w, 1, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < ops; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(i, i))
 		}
 	})
 	d := w.p.Stats().Sub(base)
@@ -61,7 +61,7 @@ func TestDurableFencesManyWorkers(t *testing.T) {
 	w := newWorld(t, cfg, nvm.Config{Costs: sim.UnitCosts(), Seed: 12}, 2)
 	base := w.p.Stats()
 	runBare(w, workers, func(th *sim.Thread, tid int) {
-		w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid), A1: 1})
+		w.p.Execute(th, tid, uc.Insert(uint64(tid), 1))
 	})
 	d := w.p.Stats().Sub(base)
 	if d.CombinedOps != workers {
@@ -86,8 +86,8 @@ func TestVolatileZeroPersistenceTraffic(t *testing.T) {
 	base := w.p.Stats()
 	runBare(w, workers, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 50; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)<<32 | i, A1: i})
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: uint64(tid) << 32})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)<<32 | i, i))
+			w.p.Execute(th, tid, uc.Get(uint64(tid) << 32))
 		}
 	})
 	d := w.p.Stats().Sub(base)

@@ -39,7 +39,7 @@ func newSweepWorld(t *testing.T, seed int64, crashAt uint64) *sweepWorld {
 	sw := &sweepWorld{cfg: cfg, completed: make([]uint64, workers)}
 	sch := w.runWorkers(workers, crashAt, func(th *sim.Thread, tid int) {
 		for i := uint64(0); ; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: history.Key(tid, i)})
+			w.p.Execute(th, tid, uc.Insert(history.Key(tid, i), history.Key(tid, i)))
 			sw.completed[tid] = i + 1
 		}
 	})
@@ -97,7 +97,7 @@ func probeDurable(t *testing.T, sys *nvm.System, rec *PREP, completed []uint64, 
 			n := completed[tid] + 16
 			keys[tid] = make([]bool, n)
 			for i := uint64(0); i < n; i++ {
-				got := rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)})
+				got := rec.Execute(th, 0, uc.Get(history.Key(tid, i)))
 				keys[tid][i] = got != uc.NotFound
 			}
 		}

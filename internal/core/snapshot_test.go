@@ -14,7 +14,7 @@ func TestSnapshotIndexInvariants(t *testing.T) {
 	w := newWorld(t, cfg, nvm.Config{Costs: sim.UnitCosts()}, 401)
 	w.runWorkers(workers, 0, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < perWorker; i++ {
-			w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*1000 + i, A1: i})
+			w.p.Execute(th, tid, uc.Insert(uint64(tid)*1000 + i, i))
 		}
 	})
 	w.query(func(th *sim.Thread) {
@@ -58,7 +58,7 @@ func TestSnapshotIndexInvariants(t *testing.T) {
 func TestSnapshotVolatileMode(t *testing.T) {
 	w := newWorld(t, hashCfg(Volatile, 4, 128, 0), nvm.Config{Costs: sim.UnitCosts()}, 402)
 	w.runWorkers(4, 0, func(th *sim.Thread, tid int) {
-		w.p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid), A1: 1})
+		w.p.Execute(th, tid, uc.Insert(uint64(tid), 1))
 	})
 	w.query(func(th *sim.Thread) {
 		s := w.p.Snapshot(th)

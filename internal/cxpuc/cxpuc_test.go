@@ -66,19 +66,19 @@ func TestSequentialSemantics(t *testing.T) {
 	w := build(t, testCfg(1), nvm.Config{}, 1)
 	w.run(1, 0, 100, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 30; k++ {
-			if got := w.cx.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k * 3}); got != 1 {
+			if got := w.cx.Execute(th, tid, uc.Insert(k, k * 3)); got != 1 {
 				t.Errorf("insert(%d) = %d", k, got)
 			}
 		}
 		for k := uint64(0); k < 30; k++ {
-			if got := w.cx.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k}); got != k*3 {
+			if got := w.cx.Execute(th, tid, uc.Get(k)); got != k*3 {
 				t.Errorf("get(%d) = %d", k, got)
 			}
 		}
-		if got := w.cx.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: 5}); got != 1 {
+		if got := w.cx.Execute(th, tid, uc.Delete(5)); got != 1 {
 			t.Errorf("delete = %d", got)
 		}
-		if got := w.cx.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: 5}); got != uc.NotFound {
+		if got := w.cx.Execute(th, tid, uc.Get(5)); got != uc.NotFound {
 			t.Errorf("get deleted = %d", got)
 		}
 	})
@@ -90,7 +90,7 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 	w.run(workers, 0, 200, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < per; i++ {
 			k := uint64(tid)*1000 + i
-			if got := w.cx.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k}); got != 1 {
+			if got := w.cx.Execute(th, tid, uc.Insert(k, k)); got != 1 {
 				t.Errorf("insert = %d", got)
 			}
 		}
@@ -99,7 +99,7 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 		for tid2 := 0; tid2 < workers; tid2++ {
 			for i := uint64(0); i < per; i++ {
 				k := uint64(tid2)*1000 + i
-				if got := w.cx.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+				if got := w.cx.Execute(th, 0, uc.Get(k)); got != k {
 					t.Errorf("get(%d) = %d", k, got)
 				}
 			}
@@ -125,7 +125,7 @@ func TestWholeReplicaFlushHappens(t *testing.T) {
 	before := w.sys.Fences()
 	w.run(2, 0, 500, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 10; i++ {
-			w.cx.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: uint64(tid)*100 + i, A1: 1})
+			w.cx.Execute(th, tid, uc.Insert(uint64(tid)*100 + i, 1))
 		}
 	})
 	if w.sys.Fences() <= before {
@@ -142,7 +142,7 @@ func TestCrashRecoversCompletedUpdates(t *testing.T) {
 	sch := w.run(workers, 60_000, 600, func(th *sim.Thread, tid int) {
 		for i := uint64(0); ; i++ {
 			k := uint64(tid)<<32 | i
-			w.cx.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.cx.Execute(th, tid, uc.Insert(k, k))
 			completed[tid] = i + 1
 		}
 	})
@@ -166,7 +166,7 @@ func TestCrashRecoversCompletedUpdates(t *testing.T) {
 		for tid := 0; tid < workers; tid++ {
 			for i := uint64(0); i < completed[tid]; i++ {
 				k := uint64(tid)<<32 | i
-				if got := rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+				if got := rec.Execute(th, 0, uc.Get(k)); got != k {
 					t.Errorf("completed op (%d,%d) lost after crash", tid, i)
 				}
 			}
@@ -180,11 +180,11 @@ func TestPrefillVisible(t *testing.T) {
 	w.run(1, 0, 800, func(th *sim.Thread, tid int) {
 		ops := make([]uc.Op, 50)
 		for i := range ops {
-			ops[i] = uc.Op{Code: uc.OpInsert, A0: uint64(i), A1: uint64(i) * 2}
+			ops[i] = uc.Insert(uint64(i), uint64(i) * 2)
 		}
 		w.cx.Prefill(th, ops)
 		for i := uint64(0); i < 50; i++ {
-			if got := w.cx.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: i}); got != i*2 {
+			if got := w.cx.Execute(th, 0, uc.Get(i)); got != i*2 {
 				t.Errorf("get(%d) = %d after prefill", i, got)
 			}
 		}

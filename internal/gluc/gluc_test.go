@@ -27,12 +27,12 @@ func TestSequential(t *testing.T) {
 	sys.SetScheduler(sch)
 	sch.Spawn("w", 0, 0, func(th *sim.Thread) {
 		for k := uint64(0); k < 40; k++ {
-			if got := g.Execute(th, 0, uc.Op{Code: uc.OpInsert, A0: k, A1: k + 1}); got != 1 {
+			if got := g.Execute(th, 0, uc.Insert(k, k + 1)); got != 1 {
 				t.Errorf("insert = %d", got)
 			}
 		}
 		for k := uint64(0); k < 40; k++ {
-			if got := g.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k+1 {
+			if got := g.Execute(th, 0, uc.Get(k)); got != k+1 {
 				t.Errorf("get(%d) = %d", k, got)
 			}
 		}
@@ -51,7 +51,7 @@ func TestConcurrentCounterExact(t *testing.T) {
 		sch.Spawn("w", w%2, 0, func(th *sim.Thread) {
 			for i := 0; i < per; i++ {
 				k := uint64(w)*100 + uint64(i)
-				if got := g.Execute(th, w, uc.Op{Code: uc.OpInsert, A0: k, A1: k}); got != 1 {
+				if got := g.Execute(th, w, uc.Insert(k, k)); got != 1 {
 					t.Errorf("insert = %d", got)
 				}
 			}
@@ -61,7 +61,7 @@ func TestConcurrentCounterExact(t *testing.T) {
 	sch2 := sim.New(5)
 	sys.SetScheduler(sch2)
 	sch2.Spawn("check", 0, 0, func(th *sim.Thread) {
-		if got := g.Execute(th, 0, uc.Op{Code: uc.OpSize}); got != workers*per {
+		if got := g.Execute(th, 0, uc.Size()); got != workers*per {
 			t.Errorf("size = %d, want %d", got, workers*per)
 		}
 	})
@@ -74,7 +74,7 @@ func TestPrefill(t *testing.T) {
 	sys.SetScheduler(sch)
 	sch.Spawn("w", 0, 0, func(th *sim.Thread) {
 		g.Prefill(th, []uc.Op{{Code: uc.OpInsert, A0: 1, A1: 2}})
-		if got := g.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: 1}); got != 2 {
+		if got := g.Execute(th, 0, uc.Get(1)); got != 2 {
 			t.Errorf("get = %d", got)
 		}
 	})
@@ -86,8 +86,8 @@ func TestReadersShareMode(t *testing.T) {
 	sch := sim.New(9)
 	sys.SetScheduler(sch)
 	sch.Spawn("w", 0, 0, func(th *sim.Thread) {
-		g.Execute(th, 0, uc.Op{Code: uc.OpInsert, A0: 1, A1: 2})
-		if got := g.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: 1}); got != 2 {
+		g.Execute(th, 0, uc.Insert(1, 2))
+		if got := g.Execute(th, 0, uc.Get(1)); got != 2 {
 			t.Errorf("shared-mode get = %d", got)
 		}
 	})

@@ -28,8 +28,8 @@ func (p prepSystem) StopBackground(t *sim.Thread) {
 }
 
 // PREPBuilder builds PREP-V / PREP-Buffered / PREP-Durable around the given
-// sequential object.
-func PREPBuilder(mode core.Mode, epsilon uint64, factory uc.Factory, attacher uc.Attacher, heapWords func(Scale) uint64) BuildFunc {
+// sequential object type.
+func PREPBuilder(mode core.Mode, epsilon uint64, obj uc.ObjectType, heapWords func(Scale) uint64) BuildFunc {
 	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
 		cfg := core.Config{
 			Mode:      mode,
@@ -37,8 +37,8 @@ func PREPBuilder(mode core.Mode, epsilon uint64, factory uc.Factory, attacher uc
 			Workers:   workers,
 			LogSize:   sc.LogSize,
 			Epsilon:   epsilon,
-			Factory:   factory,
-			Attacher:  attacher,
+			Factory:   obj.New,
+			Attacher:  obj.Attach,
 			HeapWords: heapWords(sc),
 		}
 		p, err := core.New(t, sys, cfg)
@@ -50,10 +50,10 @@ func PREPBuilder(mode core.Mode, epsilon uint64, factory uc.Factory, attacher uc
 }
 
 // GLBuilder builds the global-lock baseline.
-func GLBuilder(factory uc.Factory, heapWords func(Scale) uint64) BuildFunc {
+func GLBuilder(obj uc.ObjectType, heapWords func(Scale) uint64) BuildFunc {
 	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
 		return gluc.New(t, sys, gluc.Config{
-			Factory:   factory,
+			Factory:   obj.New,
 			HeapWords: heapWords(sc),
 			HomeNode:  0,
 		}), nil
@@ -61,12 +61,12 @@ func GLBuilder(factory uc.Factory, heapWords func(Scale) uint64) BuildFunc {
 }
 
 // CXBuilder builds the CX-PUC baseline.
-func CXBuilder(factory uc.Factory, attacher uc.Attacher, heapWords func(Scale) uint64) BuildFunc {
+func CXBuilder(obj uc.ObjectType, heapWords func(Scale) uint64) BuildFunc {
 	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
 		return cxpuc.New(t, sys, cxpuc.Config{
 			Workers:       workers,
-			Factory:       factory,
-			Attacher:      attacher,
+			Factory:       obj.New,
+			Attacher:      obj.Attach,
 			HeapWords:     heapWords(sc),
 			QueueCapacity: sc.CXQueueCap,
 			CapReplicas:   sc.CXCapReplicas,
@@ -91,11 +91,11 @@ func SOFTBuilder(buckets func(Scale) uint64) BuildFunc {
 
 // ONLLBuilder builds the ONLL extension baseline (per-thread persistent
 // logs, durable linearizability).
-func ONLLBuilder(factory uc.Factory, heapWords func(Scale) uint64) BuildFunc {
+func ONLLBuilder(obj uc.ObjectType, heapWords func(Scale) uint64) BuildFunc {
 	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
 		return onll.New(t, sys, onll.Config{
 			Workers:    workers,
-			Factory:    factory,
+			Factory:    obj.New,
 			HeapWords:  heapWords(sc),
 			LogEntries: sc.ONLLLogEntries,
 		})
@@ -103,7 +103,7 @@ func ONLLBuilder(factory uc.Factory, heapWords func(Scale) uint64) BuildFunc {
 }
 
 // PREPAblationBuilder exposes the engine's ablation switches.
-func PREPAblationBuilder(mode core.Mode, epsilon uint64, factory uc.Factory, attacher uc.Attacher,
+func PREPAblationBuilder(mode core.Mode, epsilon uint64, obj uc.ObjectType,
 	heapWords func(Scale) uint64, mut func(*core.Config)) BuildFunc {
 	return func(t *sim.Thread, sys *nvm.System, sc Scale, workers int) (System, error) {
 		cfg := core.Config{
@@ -112,8 +112,8 @@ func PREPAblationBuilder(mode core.Mode, epsilon uint64, factory uc.Factory, att
 			Workers:   workers,
 			LogSize:   sc.LogSize,
 			Epsilon:   epsilon,
-			Factory:   factory,
-			Attacher:  attacher,
+			Factory:   obj.New,
+			Attacher:  obj.Attach,
 			HeapWords: heapWords(sc),
 		}
 		mut(&cfg)

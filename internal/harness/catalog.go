@@ -12,10 +12,12 @@ import (
 
 // Catalog returns every figure of the paper's evaluation, parameterized by
 // scale, keyed by figure ID (fig1a … fig6b plus the ablations of DESIGN.md
-// §6). The per-experiment index in DESIGN.md documents the mapping.
+// §6). The per-experiment index in DESIGN.md documents the mapping. Each
+// structure appears as one uc.ObjectType descriptor; builders receive the
+// descriptor whole instead of parallel factory/attacher arguments.
 func Catalog(sc Scale) map[string]Figure {
 	setHeap := func(s Scale) uint64 { return s.setHeapWords() }
-	hashFactory := seq.HashMapFactory(sc.KeyRange / 8)
+	hashmap := seq.HashMapType(sc.KeyRange / 8)
 	figs := map[string]Figure{}
 
 	// --- Figure 1: volatile UCs (PREP-V vs Global Lock). ---
@@ -23,8 +25,8 @@ func Catalog(sc Scale) map[string]Figure {
 		ID: "fig1a", Title: "Volatile UCs, hashmap, 90% read-only",
 		Workload: workload.SetSpec(90, sc.KeyRange),
 		Algos: []AlgoSpec{
-			{"PREP-V", PREPBuilder(core.Volatile, 0, hashFactory, seq.HashMapAttacher, setHeap)},
-			{"GL", GLBuilder(hashFactory, setHeap)},
+			{"PREP-V", PREPBuilder(core.Volatile, 0, hashmap, setHeap)},
+			{"GL", GLBuilder(hashmap, setHeap)},
 		},
 		ExpectedShape: "PREP-V scales with threads; GL stays flat or degrades",
 	}
@@ -32,8 +34,8 @@ func Catalog(sc Scale) map[string]Figure {
 		ID: "fig1b", Title: "Volatile UCs, red-black tree, 90% read-only",
 		Workload: workload.SetSpec(90, sc.KeyRange),
 		Algos: []AlgoSpec{
-			{"PREP-V", PREPBuilder(core.Volatile, 0, seq.RBTreeFactory(), seq.RBTreeAttacher, setHeap)},
-			{"GL", GLBuilder(seq.RBTreeFactory(), setHeap)},
+			{"PREP-V", PREPBuilder(core.Volatile, 0, seq.RBTreeType(), setHeap)},
+			{"GL", GLBuilder(seq.RBTreeType(), setHeap)},
 		},
 		ExpectedShape: "PREP-V scales with threads; GL stays flat or degrades",
 	}
@@ -42,8 +44,8 @@ func Catalog(sc Scale) map[string]Figure {
 		ID: "fig1c", Title: "Volatile UCs, FIFO queue, 100% update (enq+deq pairs)",
 		Workload: workload.PairsSpec(uc.OpEnqueue, uc.OpDequeue, 1024),
 		Algos: []AlgoSpec{
-			{"PREP-V", PREPBuilder(core.Volatile, 0, seq.QueueFactory(), seq.QueueAttacher, queueHeap)},
-			{"GL", GLBuilder(seq.QueueFactory(), queueHeap)},
+			{"PREP-V", PREPBuilder(core.Volatile, 0, seq.QueueType(), queueHeap)},
+			{"GL", GLBuilder(seq.QueueType(), queueHeap)},
 		},
 		ExpectedShape: "PREP-V above GL; neither scales strongly at 100% updates",
 	}
@@ -51,21 +53,20 @@ func Catalog(sc Scale) map[string]Figure {
 	// --- Figure 2: PUCs on hashmap and red-black tree, ε ∈ {small, large}. ---
 	for _, sub := range []struct {
 		id, name string
-		factory  uc.Factory
-		attacher uc.Attacher
+		obj      uc.ObjectType
 	}{
-		{"fig2a", "resizable hashmap", hashFactory, seq.HashMapAttacher},
-		{"fig2b", "red-black tree", seq.RBTreeFactory(), seq.RBTreeAttacher},
+		{"fig2a", "resizable hashmap", hashmap},
+		{"fig2b", "red-black tree", seq.RBTreeType()},
 	} {
 		figs[sub.id] = Figure{
 			ID: sub.id, Title: fmt.Sprintf("PUCs, %s, 90%% read-only, 1M-key style", sub.name),
 			Workload: workload.SetSpec(90, sc.KeyRange),
 			Algos: []AlgoSpec{
-				{fmt.Sprintf("PREP-Buffered(e=%d)", sc.EpsSmall), PREPBuilder(core.Buffered, sc.EpsSmall, sub.factory, sub.attacher, setHeap)},
-				{fmt.Sprintf("PREP-Durable(e=%d)", sc.EpsSmall), PREPBuilder(core.Durable, sc.EpsSmall, sub.factory, sub.attacher, setHeap)},
-				{fmt.Sprintf("PREP-Buffered(e=%d)", sc.EpsLarge), PREPBuilder(core.Buffered, sc.EpsLarge, sub.factory, sub.attacher, setHeap)},
-				{fmt.Sprintf("PREP-Durable(e=%d)", sc.EpsLarge), PREPBuilder(core.Durable, sc.EpsLarge, sub.factory, sub.attacher, setHeap)},
-				{"CX-PUC", CXBuilder(sub.factory, sub.attacher, setHeap)},
+				{fmt.Sprintf("PREP-Buffered(e=%d)", sc.EpsSmall), PREPBuilder(core.Buffered, sc.EpsSmall, sub.obj, setHeap)},
+				{fmt.Sprintf("PREP-Durable(e=%d)", sc.EpsSmall), PREPBuilder(core.Durable, sc.EpsSmall, sub.obj, setHeap)},
+				{fmt.Sprintf("PREP-Buffered(e=%d)", sc.EpsLarge), PREPBuilder(core.Buffered, sc.EpsLarge, sub.obj, setHeap)},
+				{fmt.Sprintf("PREP-Durable(e=%d)", sc.EpsLarge), PREPBuilder(core.Durable, sc.EpsLarge, sub.obj, setHeap)},
+				{"CX-PUC", CXBuilder(sub.obj, setHeap)},
 			},
 			ExpectedShape: "CX-PUC far below both PREP variants; small ε makes Buffered≈Durable; large ε widens the gap and lifts both",
 		}
@@ -79,8 +80,8 @@ func Catalog(sc Scale) map[string]Figure {
 	}
 	for _, eps := range sc.EpsSweep {
 		fig3.Algos = append(fig3.Algos,
-			AlgoSpec{fmt.Sprintf("PREP-Buffered(e=%d)", eps), PREPBuilder(core.Buffered, eps, hashFactory, seq.HashMapAttacher, setHeap)},
-			AlgoSpec{fmt.Sprintf("PREP-Durable(e=%d)", eps), PREPBuilder(core.Durable, eps, hashFactory, seq.HashMapAttacher, setHeap)},
+			AlgoSpec{fmt.Sprintf("PREP-Buffered(e=%d)", eps), PREPBuilder(core.Buffered, eps, hashmap, setHeap)},
+			AlgoSpec{fmt.Sprintf("PREP-Durable(e=%d)", eps), PREPBuilder(core.Durable, eps, hashmap, setHeap)},
 		)
 	}
 	figs["fig3"] = fig3
@@ -101,9 +102,9 @@ func Catalog(sc Scale) map[string]Figure {
 			ID: sub.id, Title: fmt.Sprintf("Priority queue, %d items, ε=%d, 100%% update", sub.prefill, sub.eps),
 			Workload: workload.PairsSpec(uc.OpEnqueue, uc.OpDeleteMin, sub.prefill),
 			Algos: []AlgoSpec{
-				{"PREP-Buffered", PREPBuilder(core.Buffered, sub.eps, seq.PQueueFactory(), seq.PQueueAttacher, heap)},
-				{"PREP-Durable", PREPBuilder(core.Durable, sub.eps, seq.PQueueFactory(), seq.PQueueAttacher, heap)},
-				{"CX-PUC", CXBuilder(seq.PQueueFactory(), seq.PQueueAttacher, heap)},
+				{"PREP-Buffered", PREPBuilder(core.Buffered, sub.eps, seq.PQueueType(), heap)},
+				{"PREP-Durable", PREPBuilder(core.Durable, sub.eps, seq.PQueueType(), heap)},
+				{"CX-PUC", CXBuilder(seq.PQueueType(), heap)},
 			},
 			ExpectedShape: "small structure+small ε narrows PREP's lead; large ε lets PREP-Buffered pull far ahead",
 		}
@@ -121,18 +122,18 @@ func Catalog(sc Scale) map[string]Figure {
 			return func(Scale) uint64 { return containerHeapWords(n * 8) }
 		}(sub.prefill)
 		algos := []AlgoSpec{
-			{"PREP-Buffered", PREPBuilder(core.Buffered, sc.StackEps, seq.StackFactory(), seq.StackAttacher, heap)},
-			{"PREP-Durable", PREPBuilder(core.Durable, sc.StackEps, seq.StackFactory(), seq.StackAttacher, heap)},
-			{"CX-PUC", CXBuilder(seq.StackFactory(), seq.StackAttacher, heap)},
+			{"PREP-Buffered", PREPBuilder(core.Buffered, sc.StackEps, seq.StackType(), heap)},
+			{"PREP-Durable", PREPBuilder(core.Durable, sc.StackEps, seq.StackType(), heap)},
+			{"CX-PUC", CXBuilder(seq.StackType(), heap)},
 		}
 		if sub.id == "fig5a" {
 			// §6: on the tiny stack, CX-PUC's range flush beats PREP-UC's
 			// frequent WBINVD when ε is small.
 			algos = append(algos,
 				AlgoSpec{fmt.Sprintf("PREP-Buffered(e=%d)", sc.StackSmallEps),
-					PREPBuilder(core.Buffered, sc.StackSmallEps, seq.StackFactory(), seq.StackAttacher, heap)},
+					PREPBuilder(core.Buffered, sc.StackSmallEps, seq.StackType(), heap)},
 				AlgoSpec{fmt.Sprintf("PREP-Durable(e=%d)", sc.StackSmallEps),
-					PREPBuilder(core.Durable, sc.StackSmallEps, seq.StackFactory(), seq.StackAttacher, heap)},
+					PREPBuilder(core.Durable, sc.StackSmallEps, seq.StackType(), heap)},
 			)
 		}
 		figs[sub.id] = Figure{
@@ -155,8 +156,8 @@ func Catalog(sc Scale) map[string]Figure {
 			ID: sub.id, Title: fmt.Sprintf("PREP-UC hashmap vs SOFT, %d%% read-only", sub.readPct),
 			Workload: workload.SetSpec(sub.readPct, sc.KeyRange),
 			Algos: []AlgoSpec{
-				{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap)},
-				{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap)},
+				{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsLarge, hashmap, setHeap)},
+				{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsLarge, hashmap, setHeap)},
 				{"SOFT-smallB", SOFTBuilder(func(s Scale) uint64 { return s.SoftSmallBuckets })},
 				{"SOFT-largeB", SOFTBuilder(func(s Scale) uint64 { return s.SoftLargeBuckets })},
 			},
@@ -169,8 +170,8 @@ func Catalog(sc Scale) map[string]Figure {
 		ID: "ablation-batching", Title: "Flat combining vs per-op log CAS (PREP-Buffered)",
 		Workload: workload.SetSpec(50, sc.KeyRange),
 		Algos: []AlgoSpec{
-			{"batching", PREPBuilder(core.Buffered, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap)},
-			{"no-batching", PREPAblationBuilder(core.Buffered, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap,
+			{"batching", PREPBuilder(core.Buffered, sc.EpsLarge, hashmap, setHeap)},
+			{"no-batching", PREPAblationBuilder(core.Buffered, sc.EpsLarge, hashmap, setHeap,
 				func(c *core.Config) { c.NoBatching = true })},
 		},
 		ExpectedShape: "batching wins at higher thread counts",
@@ -179,8 +180,8 @@ func Catalog(sc Scale) map[string]Figure {
 		ID: "ablation-flush", Title: "WBINVD vs per-dirty-line checkpoint (PREP-Buffered)",
 		Workload: workload.SetSpec(50, sc.KeyRange),
 		Algos: []AlgoSpec{
-			{"wbinvd", PREPBuilder(core.Buffered, sc.EpsSmall, hashFactory, seq.HashMapAttacher, setHeap)},
-			{"per-line", PREPAblationBuilder(core.Buffered, sc.EpsSmall, hashFactory, seq.HashMapAttacher, setHeap,
+			{"wbinvd", PREPBuilder(core.Buffered, sc.EpsSmall, hashmap, setHeap)},
+			{"per-line", PREPAblationBuilder(core.Buffered, sc.EpsSmall, hashmap, setHeap,
 				func(c *core.Config) { c.PerLineFlush = true })},
 		},
 		ExpectedShape: "per-line flush (needs write tracking a PUC lacks) beats WBINVD at small ε",
@@ -190,9 +191,9 @@ func Catalog(sc Scale) map[string]Figure {
 		ID: "ext-onll", Title: "PREP-UC vs ONLL (per-thread persistent logs), 90% read-only hashmap",
 		Workload: workload.SetSpec(90, sc.KeyRange),
 		Algos: []AlgoSpec{
-			{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap)},
-			{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap)},
-			{"ONLL", ONLLBuilder(hashFactory, setHeap)},
+			{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsLarge, hashmap, setHeap)},
+			{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsLarge, hashmap, setHeap)},
+			{"ONLL", ONLLBuilder(hashmap, setHeap)},
 		},
 		ExpectedShape: "ONLL's flush-free reads are competitive at 90% reads, but its serialized updates and per-op logging cap scaling below PREP; its recovery replays the whole history (see ext-recovery)",
 	}
@@ -201,8 +202,8 @@ func Catalog(sc Scale) map[string]Figure {
 		ID: "ablation-ctail", Title: "completedTail flush elision (PREP-Durable)",
 		Workload: workload.SetSpec(50, sc.KeyRange),
 		Algos: []AlgoSpec{
-			{"elide", PREPBuilder(core.Durable, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap)},
-			{"always-flush", PREPAblationBuilder(core.Durable, sc.EpsLarge, hashFactory, seq.HashMapAttacher, setHeap,
+			{"elide", PREPBuilder(core.Durable, sc.EpsLarge, hashmap, setHeap)},
+			{"always-flush", PREPAblationBuilder(core.Durable, sc.EpsLarge, hashmap, setHeap,
 				func(c *core.Config) { c.NoCTailElide = true })},
 		},
 		ExpectedShape: "elision matches or beats always-flush",

@@ -1,0 +1,506 @@
+package harness
+
+// serve.go drives the asynchronous service front-end (internal/svc) with an
+// open-loop arrival schedule (internal/openloop): per-shard injector threads
+// release operations at their pre-generated arrival instants into the
+// submission rings, consumer threads drain them in batches, and every
+// completion's latency (DoneNS − ArrivalNS) lands in a log-linear histogram —
+// so a stalled server accumulates queueing delay against the percentiles
+// instead of silently thinning the arrival stream (no coordinated omission).
+//
+// The crash scenario freezes the whole machine at a fixed virtual instant
+// while the open-loop load is running, recovers the construction, rebuilds
+// the (volatile) service rings, and resumes injection where the pre-crash
+// completion prefix ended: operations that were in flight at the cut are
+// retried (at-least-once, as a real client with a dead connection would),
+// and arrivals that fell into the outage window are submitted immediately at
+// resume with their original arrival stamps, so the outage is fully charged
+// to their latencies. The report carries the recovery stall window and how
+// long the accumulated backlog took to drain.
+
+import (
+	"fmt"
+
+	"prepuc/internal/core"
+	"prepuc/internal/cxpuc"
+	"prepuc/internal/numa"
+	"prepuc/internal/nvm"
+	"prepuc/internal/onll"
+	"prepuc/internal/openloop"
+	"prepuc/internal/seq"
+	"prepuc/internal/sim"
+	"prepuc/internal/soft"
+	"prepuc/internal/svc"
+	"prepuc/internal/uc"
+)
+
+// ServeDriver adapts one construction to the service harness: boot on a
+// fresh system, recover from a crashed one. Boot and Recover return the
+// engine the service front-end should drive; constructors keep the current
+// engine in a closure so SpawnAux/StopAux always address the live one.
+type ServeDriver struct {
+	Name string
+	Boot func(t *sim.Thread, sys *nvm.System) (uc.UC, error)
+	// SpawnAux spawns auxiliary threads (PREP's persistence thread) on the
+	// system's current scheduler; StopAux is called by the last consumer to
+	// retire them. Either may be nil.
+	SpawnAux func()
+	StopAux  func(t *sim.Thread)
+	// Recover rebuilds the engine on a recovered system and reports how many
+	// log entries it replayed.
+	Recover func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error)
+}
+
+// ServeConfig parameterizes one service run.
+type ServeConfig struct {
+	// Shards is the number of submission rings / consumer threads (also the
+	// engine's worker count).
+	Shards int
+	// RingSize is the per-shard ring capacity (power of two).
+	RingSize uint64
+	// MaxBatch caps one drain's batch.
+	MaxBatch int
+	// Batched selects the batched submission path where the engine supports
+	// it; false forces the per-op baseline.
+	Batched bool
+	// Open is the arrival schedule.
+	Open openloop.Config
+	// CrashAtNS, when nonzero, freezes the machine at that virtual instant
+	// and runs the crash-and-recover-under-load scenario. It must lie inside
+	// the load's lifetime (before the last completion drains).
+	CrashAtNS uint64
+	// Seed derives every scheduler seed of the run.
+	Seed int64
+}
+
+// LatencyNS summarizes a latency histogram in virtual nanoseconds.
+type LatencyNS struct {
+	P50  uint64  `json:"p50"`
+	P99  uint64  `json:"p99"`
+	P999 uint64  `json:"p999"`
+	Max  uint64  `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// RingStats reports the submission-ring counters of the run (both phases).
+type RingStats struct {
+	Submits    uint64  `json:"submits"`
+	FullStalls uint64  `json:"full_stalls"`
+	Batches    uint64  `json:"batches"`
+	BatchedOps uint64  `json:"batched_ops"`
+	MeanBatch  float64 `json:"mean_batch"`
+}
+
+// CrashStats reports the crash scenario's recovery economics.
+type CrashStats struct {
+	// CrashAtNS is the crash instant; RecoveryVirtualNS the construction's
+	// recovery procedure time; Replayed its replayed log entries.
+	CrashAtNS         uint64 `json:"crash_at_ns"`
+	RecoveryVirtualNS uint64 `json:"recovery_virtual_ns"`
+	Replayed          uint64 `json:"replayed"`
+	// StallNS is the client-visible outage: first post-crash completion
+	// minus the crash instant.
+	StallNS uint64 `json:"stall_ns"`
+	// LostInflight counts operations submitted but not completed at the cut
+	// (retried after recovery).
+	LostInflight uint64 `json:"lost_inflight"`
+	// BacklogAtResume counts arrivals that piled up before service resumed;
+	// BacklogDrainNS is how long past resume the last of them completed.
+	BacklogAtResume uint64 `json:"backlog_at_resume"`
+	BacklogDrainNS  uint64 `json:"backlog_drain_ns"`
+}
+
+// ServeResult is one system's record in the prepuc-serve document.
+type ServeResult struct {
+	System    string      `json:"system"`
+	Submitted uint64      `json:"submitted"`
+	Completed uint64      `json:"completed"`
+	OpsPerSec float64     `json:"ops_per_sec"`
+	Latency   LatencyNS   `json:"latency_ns"`
+	Ring      RingStats   `json:"ring"`
+	Crash     *CrashStats `json:"crash,omitempty"`
+}
+
+// serveTopo sizes the machine: consumers occupy worker slots, so the
+// topology must cover Shards tids across two nodes (minimum 2 per node so
+// auxiliary threads have somewhere to live).
+func serveTopo(shards int) numa.Topology {
+	per := (shards + 1) / 2
+	if per < 2 {
+		per = 2
+	}
+	return numa.Topology{Nodes: 2, ThreadsPerNode: per}
+}
+
+// tally accumulates completions host-side through the service's OnComplete
+// hook. Everything here is measurement state: recording costs no virtual
+// time.
+type tally struct {
+	hist  openloop.Histogram
+	endNS uint64 // latest completion instant (run length for throughput)
+
+	// Crash-scenario fields, active during phase B only.
+	phaseB     bool
+	resumeNS   uint64
+	firstB     uint64 // first post-crash completion instant (0 = none yet)
+	backlogMax uint64 // latest completion of a pre-resume arrival
+}
+
+func (ta *tally) onComplete(shard int, f *svc.Future) {
+	ta.hist.Record(f.DoneNS - f.ArrivalNS)
+	if f.DoneNS > ta.endNS {
+		ta.endNS = f.DoneNS
+	}
+	if ta.phaseB {
+		if ta.firstB == 0 {
+			ta.firstB = f.DoneNS
+		}
+		if f.ArrivalNS < ta.resumeNS && f.DoneNS > ta.backlogMax {
+			ta.backlogMax = f.DoneNS
+		}
+	}
+}
+
+// inject releases arrivals[start:] into the client at their scheduled
+// instants. A full ring never blocks the arrival timeline: rejected
+// operations queue host-side in FIFO order (they already "arrived"; the
+// injector keeps offering them ahead of newer arrivals) and their original
+// stamps ride along, so ring backpressure shows up as latency.
+func inject(t *sim.Thread, c *svc.Client, arrivals []openloop.Arrival, start int) {
+	var overflow []openloop.Arrival
+	offer := func() {
+		for len(overflow) > 0 {
+			if _, ok := c.TrySubmit(t, overflow[0].Op, overflow[0].At); !ok {
+				return
+			}
+			overflow = overflow[1:]
+		}
+	}
+	for _, a := range arrivals[start:] {
+		if a.At > t.Clock() {
+			t.Step(a.At - t.Clock())
+		}
+		offer()
+		if len(overflow) > 0 {
+			overflow = append(overflow, a)
+			continue
+		}
+		if _, ok := c.TrySubmit(t, a.Op, a.At); !ok {
+			overflow = append(overflow, a)
+		}
+	}
+	for len(overflow) > 0 {
+		offer()
+		if len(overflow) > 0 {
+			t.Step(serveRetryNS)
+		}
+	}
+}
+
+// serveRetryNS is the injector's poll interval while draining its overflow
+// queue against a full ring.
+const serveRetryNS = 512
+
+// RunServe executes one open-loop service run — steady-state, or
+// crash-and-recover-under-load when cfg.CrashAtNS is set — and returns the
+// measured record.
+func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
+	arrivals, err := openloop.Generate(cfg.Open)
+	if err != nil {
+		return nil, err
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("serve: empty arrival schedule")
+	}
+	// Shard the schedule by client (order within a shard stays time-sorted).
+	perShard := make([][]openloop.Arrival, cfg.Shards)
+	for _, a := range arrivals {
+		s := int(a.Client) % cfg.Shards
+		perShard[s] = append(perShard[s], a)
+	}
+	tp := serveTopo(cfg.Shards)
+	ta := &tally{}
+
+	// Boot: construction plus generation-0 service rings.
+	bootSch := sim.New(cfg.Seed)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(cfg.Seed) + 7,
+	})
+	var s *svc.Service
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) {
+		var engine uc.UC
+		if engine, err = d.Boot(t, sys); err != nil {
+			return
+		}
+		s, err = svc.New(t, sys, svc.Config{
+			Engine: engine, Topology: tp, Shards: cfg.Shards,
+			RingSize: cfg.RingSize, MaxBatch: cfg.MaxBatch,
+			NamePrefix: "svc0", Batched: cfg.Batched,
+			OnComplete: ta.onComplete,
+		})
+	})
+	bootSch.Run()
+	if err != nil {
+		return nil, fmt.Errorf("serve: boot %s: %w", d.Name, err)
+	}
+
+	// Phase A: open-loop load, optionally cut short by the crash.
+	sch := sim.New(cfg.Seed + 1)
+	sys.SetScheduler(sch)
+	if d.SpawnAux != nil {
+		d.SpawnAux()
+	}
+	spawnServicePhase(sch, tp, s, d, cfg, perShard, make([]int, cfg.Shards), 0)
+	if cfg.CrashAtNS > 0 {
+		sch.Spawn("crasher", 0, 0, func(t *sim.Thread) {
+			t.Step(cfg.CrashAtNS)
+			sch.CrashNow()
+		})
+	}
+	sch.Run()
+
+	res := &ServeResult{System: d.Name}
+	if cfg.CrashAtNS == 0 || !sch.Frozen() {
+		if cfg.CrashAtNS > 0 {
+			return nil, fmt.Errorf("serve: %s: crash at %d ns never fired (load drained first)", d.Name, cfg.CrashAtNS)
+		}
+		finish(res, cfg.Shards, s, nil, sys, ta)
+		return res, nil
+	}
+
+	// Crash cut: read the generation-0 tallies. Completion order equals
+	// submission order per shard, so each shard's completed count is the
+	// resume index into its arrival list; everything submitted beyond it was
+	// in flight and is retried.
+	crash := &CrashStats{CrashAtNS: cfg.CrashAtNS}
+	resume := make([]int, cfg.Shards)
+	for shard := 0; shard < cfg.Shards; shard++ {
+		c := s.Client(shard)
+		crash.LostInflight += c.Submitted() - c.Completed()
+		resume[shard] = int(c.Completed())
+	}
+
+	// Recover the construction and rebuild the service (the rings are
+	// volatile; generation 1 needs fresh memory names). Recovery is retried
+	// if it is itself cut down (none is armed here, but the loop keeps the
+	// harness honest about re-entrancy).
+	cur := sys
+	var s2 *svc.Service
+	var resumeDelta uint64
+	for attempt := 0; ; attempt++ {
+		recSch := sim.New(cfg.Seed + 3 + int64(attempt)*17)
+		cur = cur.Recover(recSch)
+		recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+			start := t.Clock()
+			var engine uc.UC
+			engine, crash.Replayed, err = d.Recover(t, cur)
+			crash.RecoveryVirtualNS = t.Clock() - start
+			if err != nil {
+				return
+			}
+			s2, err = svc.New(t, cur, svc.Config{
+				Engine: engine, Topology: tp, Shards: cfg.Shards,
+				RingSize: cfg.RingSize, MaxBatch: cfg.MaxBatch,
+				NamePrefix: "svc1", Batched: cfg.Batched,
+				OnComplete: ta.onComplete,
+			})
+			resumeDelta = t.Clock()
+		})
+		recSch.Run()
+		if recSch.Frozen() {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: recover %s: %w", d.Name, err)
+		}
+		break
+	}
+	resumeNS := cfg.CrashAtNS + resumeDelta
+	ta.phaseB, ta.resumeNS = true, resumeNS
+	for shard := 0; shard < cfg.Shards; shard++ {
+		for _, a := range perShard[shard][resume[shard]:] {
+			if a.At < resumeNS {
+				crash.BacklogAtResume++
+			}
+		}
+	}
+
+	// Phase B: resume the load on the recovered machine. Every thread starts
+	// at the resume instant; backlog arrivals submit immediately with their
+	// original stamps, so their latencies absorb the outage.
+	schB := sim.New(cfg.Seed + 5)
+	cur.SetScheduler(schB)
+	if d.SpawnAux != nil {
+		d.SpawnAux()
+	}
+	spawnServicePhase(schB, tp, s2, d, cfg, perShard, resume, resumeNS)
+	schB.Run()
+	if schB.Frozen() {
+		return nil, fmt.Errorf("serve: %s: phase B froze unexpectedly", d.Name)
+	}
+
+	if ta.firstB > cfg.CrashAtNS {
+		crash.StallNS = ta.firstB - cfg.CrashAtNS
+	}
+	if ta.backlogMax > resumeNS {
+		crash.BacklogDrainNS = ta.backlogMax - resumeNS
+	}
+	finish(res, cfg.Shards, s, s2, cur, ta)
+	res.Crash = crash
+	return res, nil
+}
+
+// spawnServicePhase spawns one phase's consumers and injectors: consumer
+// shard runs as worker tid shard on its home node; the last finishing
+// injector stops the service, the last finishing consumer retires the
+// auxiliary threads.
+func spawnServicePhase(sch *sim.Scheduler, tp numa.Topology, s *svc.Service,
+	d *ServeDriver, cfg ServeConfig, perShard [][]openloop.Arrival,
+	resume []int, startNS uint64) {
+	consumersLive := cfg.Shards
+	injectorsLive := cfg.Shards
+	for shard := 0; shard < cfg.Shards; shard++ {
+		shard := shard
+		sch.Spawn("serve", tp.NodeOf(shard), startNS, func(t *sim.Thread) {
+			s.Serve(t, shard)
+			consumersLive--
+			if consumersLive == 0 && d.StopAux != nil {
+				d.StopAux(t)
+			}
+		})
+		sch.Spawn("inject", tp.NodeOf(shard), startNS, func(t *sim.Thread) {
+			inject(t, s.Client(shard), perShard[shard], resume[shard])
+			injectorsLive--
+			if injectorsLive == 0 {
+				s.Stop()
+			}
+		})
+	}
+}
+
+// finish fills the throughput, latency and ring blocks from the run's
+// tallies. s2 is the post-crash service generation (nil on steady runs).
+func finish(res *ServeResult, shards int, s, s2 *svc.Service, sys *nvm.System, ta *tally) {
+	for shard := 0; shard < shards; shard++ {
+		c := s.Client(shard)
+		res.Submitted += c.Submitted()
+		res.Completed += c.Completed()
+		if s2 != nil {
+			c2 := s2.Client(shard)
+			res.Submitted += c2.Submitted()
+			res.Completed += c2.Completed()
+		}
+	}
+	if ta.endNS > 0 {
+		res.OpsPerSec = float64(res.Completed) * 1e9 / float64(ta.endNS)
+	}
+	res.Latency = LatencyNS{
+		P50:  ta.hist.Quantile(0.50),
+		P99:  ta.hist.Quantile(0.99),
+		P999: ta.hist.Quantile(0.999),
+		Max:  ta.hist.Max(),
+		Mean: ta.hist.Mean(),
+	}
+	ms := sys.Metrics().Snapshot()
+	res.Ring = RingStats{
+		Submits:    ms.RingSubmits,
+		FullStalls: ms.RingFullStalls,
+		Batches:    ms.RingBatches,
+		BatchedOps: ms.RingBatchedOps,
+	}
+	if ms.RingBatches > 0 {
+		res.Ring.MeanBatch = float64(ms.RingBatchedOps) / float64(ms.RingBatches)
+	}
+}
+
+// ServeDrivers builds the five recoverable-construction drivers at the
+// given shard count (= engine worker count). Configurations mirror
+// cmd/crashtest's so the serve and crash harnesses measure the same
+// machines.
+func ServeDrivers(shards int, epsilon uint64) []*ServeDriver {
+	hashmap := seq.HashMapType(256)
+	return []*ServeDriver{
+		prepServeDriver("PREP-Durable", core.Durable, shards, epsilon, hashmap),
+		prepServeDriver("PREP-Buffered", core.Buffered, shards, epsilon, hashmap),
+		cxServeDriver(shards, hashmap),
+		softServeDriver(),
+		onllServeDriver(shards, hashmap),
+	}
+}
+
+// prepServeDriver wires PREP-UC: the only driver with auxiliary threads
+// (the persistence loop) and the only engine implementing svc.Batcher, so
+// it is where the batched submission path engages.
+func prepServeDriver(name string, mode core.Mode, shards int, epsilon uint64, obj uc.ObjectType) *ServeDriver {
+	cfg := core.Config{
+		Mode: mode, Topology: serveTopo(shards), Workers: shards,
+		LogSize: 4096, Epsilon: epsilon,
+		Factory: obj.New, Attacher: obj.Attach, HeapWords: 1 << 21,
+	}
+	d := &ServeDriver{Name: name}
+	var cur *core.PREP
+	d.SpawnAux = func() { cur.SpawnPersistence(0) }
+	d.StopAux = func(t *sim.Thread) { cur.StopPersistence(t) }
+	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
+		p, err := core.New(t, sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cur = p
+		return p, nil
+	}
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+		rec, report, err := core.Recover(t, recSys, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		cur = rec
+		return rec, report.Replayed, nil
+	}
+	return d
+}
+
+func cxServeDriver(shards int, obj uc.ObjectType) *ServeDriver {
+	cfg := cxpuc.Config{
+		Workers: shards, Factory: obj.New, Attacher: obj.Attach,
+		HeapWords: 1 << 20, QueueCapacity: 1 << 18, CapReplicas: 8,
+	}
+	d := &ServeDriver{Name: "CX-PUC"}
+	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
+		return cxpuc.New(t, sys, cfg)
+	}
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+		rec, err := cxpuc.Recover(t, recSys, cfg)
+		return rec, 0, err
+	}
+	return d
+}
+
+func softServeDriver() *ServeDriver {
+	cfg := soft.Config{Buckets: 512, VolatileWords: 1 << 20, PersistentWords: 1 << 20}
+	d := &ServeDriver{Name: "SOFT"}
+	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
+		return soft.New(t, sys, cfg), nil
+	}
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+		rec, replayed, err := soft.Recover(t, recSys, cfg)
+		return rec, replayed, err
+	}
+	return d
+}
+
+func onllServeDriver(shards int, obj uc.ObjectType) *ServeDriver {
+	cfg := onll.Config{
+		Workers: shards, Factory: obj.New,
+		HeapWords: 1 << 21, LogEntries: 1 << 13,
+	}
+	d := &ServeDriver{Name: "ONLL"}
+	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
+		return onll.New(t, sys, cfg)
+	}
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+		rec, replayed, err := onll.Recover(t, recSys, cfg)
+		return rec, replayed, err
+	}
+	return d
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"prepuc/internal/openloop"
+)
+
+func serveTestConfig(crashAt uint64) ServeConfig {
+	return ServeConfig{
+		Shards: 2, RingSize: 256, MaxBatch: 32, Batched: true, Seed: 5,
+		CrashAtNS: crashAt,
+		Open: openloop.Config{
+			Clients: 20_000, Keys: 1 << 12, KeySkew: 1.2, ReadPct: 80,
+			Rate: 2e6, DurationNS: 400_000, ThinkNS: 20_000,
+			BurstEveryNS: 100_000, BurstLenNS: 20_000, BurstFactor: 4,
+			Seed: 99,
+		},
+	}
+}
+
+// TestRunServeSteadyDeterministic: the whole measurement — throughput,
+// every percentile, every ring counter — is a pure function of the config.
+func TestRunServeSteadyDeterministic(t *testing.T) {
+	run := func() *ServeResult {
+		res, err := RunServe(ServeDrivers(2, 64)[0], serveTestConfig(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("same config, different results:\n%s\n%s", aj, bj)
+	}
+	if a.Completed == 0 || a.Completed != a.Submitted {
+		t.Fatalf("steady run left work behind: completed=%d submitted=%d", a.Completed, a.Submitted)
+	}
+	if a.Latency.P50 == 0 || a.Latency.P999 < a.Latency.P50 {
+		t.Fatalf("implausible latency summary: %+v", a.Latency)
+	}
+}
+
+// TestRunServeCrashAllSystems: every recoverable construction survives the
+// crash-under-load scenario and eventually retires the full schedule, with
+// a nonzero recovery window reported.
+func TestRunServeCrashAllSystems(t *testing.T) {
+	for _, d := range ServeDrivers(2, 64) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			res, err := RunServe(d, serveTestConfig(200_000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := res.Crash
+			if c == nil {
+				t.Fatal("crash scenario reported no crash block")
+			}
+			if c.RecoveryVirtualNS == 0 {
+				t.Error("zero recovery time")
+			}
+			if c.StallNS < c.RecoveryVirtualNS {
+				t.Errorf("stall %d ns shorter than recovery %d ns", c.StallNS, c.RecoveryVirtualNS)
+			}
+			if c.BacklogAtResume == 0 {
+				t.Error("no backlog accumulated across the outage")
+			}
+			// Retries mean submitted ≥ completed = the full schedule.
+			if res.Submitted < res.Completed {
+				t.Errorf("submitted %d < completed %d", res.Submitted, res.Completed)
+			}
+			if res.Completed == 0 {
+				t.Error("nothing completed")
+			}
+			if res.Latency.P999 <= res.Latency.P50 {
+				t.Errorf("outage left no latency tail: %+v", res.Latency)
+			}
+		})
+	}
+}

@@ -125,7 +125,7 @@ func probeState(sys *nvm.System, s System, spec workload.Spec, seed int64) (any,
 		case workload.Set:
 			m := map[uint64]uint64{}
 			for k := uint64(0); k < spec.KeyRange; k++ {
-				if v := s.Execute(t, 0, uc.Op{Code: uc.OpGet, A0: k}); v != uc.NotFound {
+				if v := s.Execute(t, 0, uc.Get(k)); v != uc.NotFound {
 					m[k] = v
 				}
 			}

@@ -29,12 +29,12 @@ func TestVerifyPointSetWorkload(t *testing.T) {
 		ID:       "verify-set",
 		Workload: workload.SetSpec(30, sc.KeyRange),
 		Algos: []AlgoSpec{
-			{"GL", GLBuilder(seq.HashMapFactory(64), heap21)},
-			{"PREP-V", PREPBuilder(core.Volatile, 0, seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
-			{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsSmall, seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
-			{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsSmall, seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
-			{"CX-PUC", CXBuilder(seq.HashMapFactory(64), seq.HashMapAttacher, heap21)},
-			{"ONLL", ONLLBuilder(seq.HashMapFactory(64), heap21)},
+			{"GL", GLBuilder(seq.HashMapType(64), heap21)},
+			{"PREP-V", PREPBuilder(core.Volatile, 0, seq.HashMapType(64), heap21)},
+			{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsSmall, seq.HashMapType(64), heap21)},
+			{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsSmall, seq.HashMapType(64), heap21)},
+			{"CX-PUC", CXBuilder(seq.HashMapType(64), heap21)},
+			{"ONLL", ONLLBuilder(seq.HashMapType(64), heap21)},
 			{"SOFT", SOFTBuilder(func(Scale) uint64 { return 64 })},
 		},
 	}
@@ -59,14 +59,13 @@ func TestVerifyPointSetWorkload(t *testing.T) {
 func TestVerifyPointPairsWorkloads(t *testing.T) {
 	sc := verifyScale()
 	cases := []struct {
-		name     string
-		spec     workload.Spec
-		factory  uc.Factory
-		attacher uc.Attacher
+		name string
+		spec workload.Spec
+		obj  uc.ObjectType
 	}{
-		{"queue", workload.PairsSpec(uc.OpEnqueue, uc.OpDequeue, 24), seq.QueueFactory(), seq.QueueAttacher},
-		{"stack", workload.PairsSpec(uc.OpPush, uc.OpPop, 24), seq.StackFactory(), seq.StackAttacher},
-		{"pqueue", workload.PairsSpec(uc.OpEnqueue, uc.OpDeleteMin, 24), seq.PQueueFactory(), seq.PQueueAttacher},
+		{"queue", workload.PairsSpec(uc.OpEnqueue, uc.OpDequeue, 24), seq.QueueType()},
+		{"stack", workload.PairsSpec(uc.OpPush, uc.OpPop, 24), seq.StackType()},
+		{"pqueue", workload.PairsSpec(uc.OpEnqueue, uc.OpDeleteMin, 24), seq.PQueueType()},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -75,11 +74,11 @@ func TestVerifyPointPairsWorkloads(t *testing.T) {
 				ID:       "verify-" + tc.name,
 				Workload: tc.spec,
 				Algos: []AlgoSpec{
-					{"GL", GLBuilder(tc.factory, heap21)},
-					{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsSmall, tc.factory, tc.attacher, heap21)},
-					{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsSmall, tc.factory, tc.attacher, heap21)},
-					{"CX-PUC", CXBuilder(tc.factory, tc.attacher, heap21)},
-					{"ONLL", ONLLBuilder(tc.factory, heap21)},
+					{"GL", GLBuilder(tc.obj, heap21)},
+					{"PREP-Buffered", PREPBuilder(core.Buffered, sc.EpsSmall, tc.obj, heap21)},
+					{"PREP-Durable", PREPBuilder(core.Durable, sc.EpsSmall, tc.obj, heap21)},
+					{"CX-PUC", CXBuilder(tc.obj, heap21)},
+					{"ONLL", ONLLBuilder(tc.obj, heap21)},
 				},
 			}
 			for _, algo := range fig.Algos {

@@ -207,7 +207,7 @@ func TestCommutingWorkloadConverges(t *testing.T) {
 				}()
 				for i := uint64(0); i < per; i++ {
 					k := uint64(tid)*1000 + i
-					b.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k * 7})
+					b.s.Execute(th, tid, uc.Insert(k, k * 7))
 				}
 			})
 		}
@@ -220,7 +220,7 @@ func TestCommutingWorkloadConverges(t *testing.T) {
 			for tid := 0; tid < workers; tid++ {
 				for i := uint64(0); i < per; i++ {
 					k := uint64(tid)*1000 + i
-					state[k] = b.s.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k})
+					state[k] = b.s.Execute(th, 0, uc.Get(k))
 				}
 			}
 		})
@@ -276,7 +276,7 @@ func TestCrashPointSweep(t *testing.T) {
 						}
 					}()
 					for i := uint64(0); ; i++ {
-						p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+						p.Execute(th, tid, uc.Insert(history.Key(tid, i), i))
 						completed[tid] = i + 1
 					}
 				})
@@ -303,7 +303,7 @@ func TestCrashPointSweep(t *testing.T) {
 					n := completed[tid] + 16
 					keys[tid] = make([]bool, n)
 					for i := uint64(0); i < n; i++ {
-						keys[tid][i] = rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)}) != uc.NotFound
+						keys[tid][i] = rec.Execute(th, 0, uc.Get(history.Key(tid, i))) != uc.NotFound
 					}
 				}
 			})
@@ -371,7 +371,7 @@ func TestDurableRecoveryPreservesEveryStructure(t *testing.T) {
 			ns.SetScheduler(sch1b)
 			sch1b.Spawn("snap", 0, 0, func(th *sim.Thread) {
 				for k := uint64(0); k < 100; k++ {
-					v := p.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k})
+					v := p.Execute(th, 0, uc.Get(k))
 					before = append(before, [3]uint64{k, v, 0})
 				}
 			})
@@ -391,7 +391,7 @@ func TestDurableRecoveryPreservesEveryStructure(t *testing.T) {
 			recSys.SetScheduler(chkSch)
 			chkSch.Spawn("chk", 0, 0, func(th *sim.Thread) {
 				for _, kv := range before {
-					if got := rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: kv[0]}); got != kv[1] {
+					if got := rec.Execute(th, 0, uc.Get(kv[0])); got != kv[1] {
 						t.Errorf("key %d: recovered %d, want %d", kv[0], got, kv[1])
 					}
 				}

@@ -291,7 +291,7 @@ func linProbe(t *testing.T, d *linDriver, cur *nvm.System, spec workload.Spec, s
 		case workload.Set:
 			m := map[uint64]uint64{}
 			for k := uint64(0); k < spec.KeyRange; k++ {
-				if v := d.exec(th, 0, uc.Op{Code: uc.OpGet, A0: k}); v != uc.NotFound {
+				if v := d.exec(th, 0, uc.Get(k)); v != uc.NotFound {
 					m[k] = v
 				}
 			}

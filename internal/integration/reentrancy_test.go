@@ -163,7 +163,7 @@ func TestDoubleRecoveryIdempotent(t *testing.T) {
 						}
 					}()
 					for i := uint64(0); ; i++ {
-						s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+						s.Execute(th, tid, uc.Insert(history.Key(tid, i), i))
 					}
 				})
 			}
@@ -286,7 +286,7 @@ func TestMultiCrashEpochs(t *testing.T) {
 							}
 						}()
 						for i := uint64(0); ; i++ {
-							p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.EpochKey(e, tid, i), A1: i})
+							p.Execute(th, tid, uc.Insert(history.EpochKey(e, tid, i), i))
 							completed[tid] = i + 1
 						}
 					})
@@ -320,7 +320,7 @@ func TestMultiCrashEpochs(t *testing.T) {
 						n := epochs[e].Completed[tid] + 16
 						epochs[e].Keys[tid] = make([]bool, n)
 						for i := uint64(0); i < n; i++ {
-							got := p.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.EpochKey(e, tid, i)})
+							got := p.Execute(th, 0, uc.Get(history.EpochKey(e, tid, i)))
 							epochs[e].Keys[tid][i] = got != uc.NotFound
 						}
 					}

@@ -62,7 +62,7 @@ func runCrashCycle(t *testing.T, crashAt uint64) cycleTrace {
 				}
 			}()
 			for i := uint64(0); ; i++ {
-				p.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				p.Execute(th, tid, uc.Insert(history.Key(tid, i), i))
 				tr.completed[tid] = i + 1
 			}
 		})
@@ -94,7 +94,7 @@ func runCrashCycle(t *testing.T, crashAt uint64) cycleTrace {
 			n := tr.completed[tid] + 16
 			tr.keys[tid] = make([]bool, n)
 			for i := uint64(0); i < n; i++ {
-				tr.keys[tid][i] = rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)}) != uc.NotFound
+				tr.keys[tid][i] = rec.Execute(th, 0, uc.Get(history.Key(tid, i))) != uc.NotFound
 			}
 		}
 	})

@@ -98,6 +98,15 @@ type Counters struct {
 	BoundaryReductions   uint64                   `json:"boundary_reductions"`
 	CrossNodeHelps       uint64                   `json:"cross_node_helps"`
 	UpdateNowServices    uint64                   `json:"update_now_services"`
+
+	// Async submission layer (internal/svc, internal/core ExecuteBatch).
+	// Excluded from the wire format like the snapshot counters above: the
+	// bench and crashtest documents predate the service layer and their
+	// goldens must not change. prepserve reads these from live snapshots.
+	RingSubmits    uint64 `json:"-"` // ops accepted into a submission ring
+	RingFullStalls uint64 `json:"-"` // TrySubmit rejections on a full ring
+	RingBatches    uint64 `json:"-"` // ExecuteBatch calls from ring consumers
+	RingBatchedOps uint64 `json:"-"` // ops carried by those calls
 }
 
 // Wire returns the counters with the host-side substrate fields (`json:"-"`,
@@ -106,6 +115,7 @@ type Counters struct {
 // counters — host-side work is not part of the machine being measured.
 func (c Counters) Wire() Counters {
 	c.Clones, c.PagesCopied, c.LinesScannedAtCrash = 0, 0, 0
+	c.RingSubmits, c.RingFullStalls, c.RingBatches, c.RingBatchedOps = 0, 0, 0, 0
 	return c
 }
 

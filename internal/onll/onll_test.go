@@ -63,16 +63,16 @@ func TestSequentialSemantics(t *testing.T) {
 	w := build(t, testCfg(1), nvm.Config{}, 1)
 	w.run(1, 0, 100, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 40; k++ {
-			if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k * 2}); got != 1 {
+			if got := w.o.Execute(th, tid, uc.Insert(k, k * 2)); got != 1 {
 				t.Errorf("insert = %d", got)
 			}
 		}
 		for k := uint64(0); k < 40; k++ {
-			if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k}); got != k*2 {
+			if got := w.o.Execute(th, tid, uc.Get(k)); got != k*2 {
 				t.Errorf("get(%d) = %d", k, got)
 			}
 		}
-		if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: 3}); got != 1 {
+		if got := w.o.Execute(th, tid, uc.Delete(3)); got != 1 {
 			t.Errorf("delete = %d", got)
 		}
 	})
@@ -82,13 +82,13 @@ func TestReadsDoNotFlushOrFence(t *testing.T) {
 	w := build(t, testCfg(2), nvm.Config{Costs: sim.UnitCosts()}, 2)
 	w.run(1, 0, 200, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 20; k++ {
-			w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.o.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	before := w.sys.Fences()
 	w.run(1, 0, 201, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 100; k++ {
-			w.o.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k % 20})
+			w.o.Execute(th, tid, uc.Get(k % 20))
 		}
 	})
 	if got := w.sys.Fences(); got != before {
@@ -102,7 +102,7 @@ func TestOneFencePerUpdate(t *testing.T) {
 	const updates = 30
 	w.run(1, 0, 300, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < updates; k++ {
-			w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.o.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	if got := w.sys.Fences() - before; got != updates {
@@ -116,7 +116,7 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 	w.run(workers, 0, 400, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < per; i++ {
 			k := uint64(tid)*1000 + i
-			if got := w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k}); got != 1 {
+			if got := w.o.Execute(th, tid, uc.Insert(k, k)); got != 1 {
 				t.Errorf("insert = %d", got)
 			}
 		}
@@ -125,7 +125,7 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 		for tid2 := 0; tid2 < workers; tid2++ {
 			for i := uint64(0); i < per; i++ {
 				k := uint64(tid2)*1000 + i
-				if got := w.o.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: k}); got != k {
+				if got := w.o.Execute(th, 0, uc.Get(k)); got != k {
 					t.Errorf("get(%d) = %d", k, got)
 				}
 			}
@@ -141,7 +141,7 @@ func TestCrashLosesNoCompletedOp(t *testing.T) {
 		completed := make([]uint64, workers)
 		sch := w.run(workers, crashAt, int64(crashAt)+1, func(th *sim.Thread, tid int) {
 			for i := uint64(0); ; i++ {
-				w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+				w.o.Execute(th, tid, uc.Insert(history.Key(tid, i), i))
 				completed[tid] = i + 1
 			}
 		})
@@ -167,7 +167,7 @@ func TestCrashLosesNoCompletedOp(t *testing.T) {
 				n := completed[tid] + 16
 				keys[tid] = make([]bool, n)
 				for i := uint64(0); i < n; i++ {
-					keys[tid][i] = rec.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: history.Key(tid, i)}) != uc.NotFound
+					keys[tid][i] = rec.Execute(th, 0, uc.Get(history.Key(tid, i))) != uc.NotFound
 				}
 			}
 		})
@@ -184,7 +184,7 @@ func TestRecoveredInstanceUsableAndRecrashable(t *testing.T) {
 	w := build(t, cfg, nvm.Config{Costs: sim.UnitCosts()}, 9)
 	w.run(4, 0, 900, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < 25; i++ {
-			w.o.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: history.Key(tid, i), A1: i})
+			w.o.Execute(th, tid, uc.Insert(history.Key(tid, i), i))
 		}
 	})
 	recSch := sim.New(901)
@@ -207,7 +207,7 @@ func TestRecoveredInstanceUsableAndRecrashable(t *testing.T) {
 	recSys.SetScheduler(sch)
 	sch.Spawn("w", 0, 0, func(th *sim.Thread) {
 		for i := uint64(0); i < 10; i++ {
-			rec.Execute(th, 0, uc.Op{Code: uc.OpInsert, A0: 1<<40 | i, A1: i})
+			rec.Execute(th, 0, uc.Insert(1<<40 | i, i))
 		}
 	})
 	sch.Run()
@@ -226,7 +226,7 @@ func TestRecoveredInstanceUsableAndRecrashable(t *testing.T) {
 	recSys2.SetScheduler(chk)
 	chk.Spawn("chk", 0, 0, func(th *sim.Thread) {
 		for i := uint64(0); i < 10; i++ {
-			if got := rec2.Execute(th, 0, uc.Op{Code: uc.OpGet, A0: 1<<40 | i}); got != i {
+			if got := rec2.Execute(th, 0, uc.Get(1<<40 | i)); got != i {
 				t.Errorf("second recovery lost op %d", i)
 			}
 		}

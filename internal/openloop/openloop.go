@@ -1,0 +1,143 @@
+// Package openloop generates open-loop (arrival-driven) workloads for the
+// service harness: a large simulated client population emits operations on a
+// Poisson arrival process with optional bursts, Zipfian key skew and
+// per-client think times, independent of how fast the system under test
+// retires them. Latency measured from these arrival stamps is free of
+// coordinated omission: a stalled server keeps accumulating arrivals, and
+// every queued operation's wait counts against the percentiles.
+//
+// Generation is deterministic: the schedule is a pure function of the
+// config (same seed ⇒ identical arrival stream), so two runs — or a run and
+// its crash-recovery replay — agree on every arrival instant.
+package openloop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prepuc/internal/uc"
+)
+
+// Config parameterizes one arrival schedule.
+type Config struct {
+	// Clients is the simulated client population (10^5–10^6 is the intended
+	// range; each arrival is attributed to one client).
+	Clients int
+	// Keys is the key-space size for set operations.
+	Keys uint64
+	// KeySkew > 1 draws keys from a Zipf distribution with that exponent;
+	// 0 (or anything ≤ 1) draws uniformly.
+	KeySkew float64
+	// ReadPct is the percentage of read-only (Get) operations.
+	ReadPct int
+	// Rate is the aggregate arrival rate in operations per virtual second.
+	Rate float64
+	// DurationNS is the schedule horizon in virtual nanoseconds.
+	DurationNS uint64
+	// ThinkNS is the per-client think time: a client that issued an
+	// operation at t is not eligible again before t+ThinkNS.
+	ThinkNS uint64
+	// BurstEveryNS/BurstLenNS/BurstFactor overlay periodic bursts: within
+	// the first BurstLenNS of every BurstEveryNS window the arrival rate is
+	// multiplied by BurstFactor. Zero BurstEveryNS disables bursts.
+	BurstEveryNS uint64
+	BurstLenNS   uint64
+	BurstFactor  float64
+	// Seed fixes the schedule.
+	Seed int64
+}
+
+// Arrival is one scheduled operation.
+type Arrival struct {
+	// At is the arrival instant in virtual nanoseconds.
+	At uint64
+	// Client is the issuing client's id in [0, Clients).
+	Client uint32
+	// Op is the operation.
+	Op uc.Op
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Clients <= 0 {
+		return fmt.Errorf("openloop: Clients must be positive, got %d", c.Clients)
+	}
+	if c.Keys == 0 {
+		return fmt.Errorf("openloop: Keys must be positive")
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("openloop: Rate must be positive, got %g", c.Rate)
+	}
+	if c.DurationNS == 0 {
+		return fmt.Errorf("openloop: DurationNS must be positive")
+	}
+	if c.BurstEveryNS > 0 && (c.BurstLenNS == 0 || c.BurstLenNS > c.BurstEveryNS || c.BurstFactor <= 0) {
+		return fmt.Errorf("openloop: burst window %d/%d factor %g invalid",
+			c.BurstLenNS, c.BurstEveryNS, c.BurstFactor)
+	}
+	return nil
+}
+
+// thinkProbe bounds the linear probe for a think-time-eligible client; past
+// it the originally drawn client is used regardless (the population is large
+// enough that saturation means the offered load exceeds Clients/ThinkNS, a
+// misconfiguration the schedule should surface as queueing, not mask).
+const thinkProbe = 64
+
+// Generate materializes the full arrival schedule, sorted by arrival time.
+func Generate(cfg Config) ([]Arrival, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.KeySkew > 1 {
+		zipf = rand.NewZipf(rng, cfg.KeySkew, 1, cfg.Keys-1)
+	}
+	key := func() uint64 {
+		if zipf != nil {
+			return zipf.Uint64()
+		}
+		return uint64(rng.Int63n(int64(cfg.Keys)))
+	}
+	nextFree := make([]uint64, cfg.Clients)
+
+	var out []Arrival
+	now := float64(0)
+	for {
+		rate := cfg.Rate
+		if cfg.BurstEveryNS > 0 && uint64(now)%cfg.BurstEveryNS < cfg.BurstLenNS {
+			rate *= cfg.BurstFactor
+		}
+		dt := rng.ExpFloat64() / rate * 1e9
+		if dt < 1 {
+			dt = 1
+		}
+		now += dt
+		at := uint64(now)
+		if at >= cfg.DurationNS {
+			break
+		}
+
+		// Attribute the arrival to a thinking-done client: draw one, probe
+		// forward past clients still in their think window.
+		c := rng.Intn(cfg.Clients)
+		for probe := 0; probe < thinkProbe && nextFree[c] > at; probe++ {
+			c = (c + 1) % cfg.Clients
+		}
+		nextFree[c] = at + cfg.ThinkNS
+
+		var op uc.Op
+		k := key()
+		switch {
+		case rng.Intn(100) < cfg.ReadPct:
+			op = uc.Get(k)
+		case rng.Intn(2) == 0:
+			op = uc.Insert(k, rng.Uint64())
+		default:
+			op = uc.Delete(k)
+		}
+		out = append(out, Arrival{At: at, Client: uint32(c), Op: op})
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package openloop
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"prepuc/internal/uc"
+)
+
+func testConfig() Config {
+	return Config{
+		Clients:      100_000,
+		Keys:         1 << 16,
+		KeySkew:      1.2,
+		ReadPct:      80,
+		Rate:         5e6,
+		DurationNS:   2_000_000,
+		ThinkNS:      50_000,
+		BurstEveryNS: 500_000,
+		BurstLenNS:   100_000,
+		BurstFactor:  4,
+		Seed:         42,
+	}
+}
+
+// TestGenerateDeterministic: the schedule is a pure function of the config.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	cfg := testConfig()
+	cfg.Seed++
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateShape: arrivals are sorted, in-horizon, respect think times,
+// honour the read mix roughly, and bursts lift the in-window rate.
+func TestGenerateShape(t *testing.T) {
+	cfg := testConfig()
+	arr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextFree := make(map[uint32]uint64)
+	reads := 0
+	var inBurst, outBurst int
+	for i, a := range arr {
+		if i > 0 && a.At < arr[i-1].At {
+			t.Fatalf("arrival %d out of order", i)
+		}
+		if a.At >= cfg.DurationNS {
+			t.Fatalf("arrival %d beyond horizon", i)
+		}
+		if free, ok := nextFree[a.Client]; ok && a.At < free {
+			t.Fatalf("arrival %d violates client %d's think time", i, a.Client)
+		}
+		nextFree[a.Client] = a.At + cfg.ThinkNS
+		if a.Op.Code == uc.OpGet {
+			reads++
+		}
+		if a.At%cfg.BurstEveryNS < cfg.BurstLenNS {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	frac := float64(reads) / float64(len(arr))
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("read fraction %f far from configured 0.80", frac)
+	}
+	// Burst windows are 1/5 of the time at 4x rate: expect roughly half the
+	// arrivals inside them (4 / (4+4) of the mass).
+	burstFrac := float64(inBurst) / float64(len(arr))
+	if burstFrac < 0.35 || burstFrac > 0.65 {
+		t.Fatalf("burst-window arrival fraction %f; bursts not visible", burstFrac)
+	}
+}
+
+// TestGenerateZipfSkew: with skew on, the hottest key should dominate far
+// beyond its uniform share.
+func TestGenerateZipfSkew(t *testing.T) {
+	cfg := testConfig()
+	cfg.KeySkew = 1.5
+	arr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for _, a := range arr {
+		counts[a.Op.A0]++
+	}
+	top := 0
+	for _, n := range counts {
+		if n > top {
+			top = n
+		}
+	}
+	uniformShare := float64(len(arr)) / float64(cfg.Keys)
+	if float64(top) < 20*uniformShare {
+		t.Fatalf("hottest key %d arrivals, expected ≫ uniform share %f", top, uniformShare)
+	}
+}
+
+// TestHistogramExactQuantiles compares every quantile against a sorted
+// reference using the histogram's own rank rule: Quantile(q) must equal the
+// upper bound of the bucket containing the ⌈q·n⌉-th smallest sample.
+func TestHistogramExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	var ref []uint64
+	for i := 0; i < 50_000; i++ {
+		// Mix of magnitudes: exact-range values, mid-range, heavy tail.
+		var v uint64
+		switch rng.Intn(3) {
+		case 0:
+			v = uint64(rng.Intn(64))
+		case 1:
+			v = uint64(rng.Intn(100_000))
+		default:
+			v = uint64(rng.Int63n(1 << 40))
+		}
+		h.Record(v)
+		ref = append(ref, v)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	for _, q := range []float64{0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		rank := uint64(q * float64(len(ref)))
+		if float64(rank) < q*float64(len(ref)) {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		want := bucketUpper(bucketOf(ref[rank-1]))
+		if m := ref[len(ref)-1]; want > m {
+			want = m // Quantile clamps to the recorded max
+		}
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%g) = %d, sorted reference bucket upper = %d", q, got, want)
+		}
+		// Error bound: the reported value is within 1/64 above the true one.
+		exact := ref[rank-1]
+		if got := h.Quantile(q); got < exact || float64(got-exact) > float64(exact)/64+1 {
+			t.Fatalf("Quantile(%g) = %d outside error bound of exact %d", q, got, exact)
+		}
+	}
+	if h.Max() != ref[len(ref)-1] {
+		t.Fatalf("Max %d != %d", h.Max(), ref[len(ref)-1])
+	}
+	if h.Count() != uint64(len(ref)) {
+		t.Fatalf("Count %d != %d", h.Count(), len(ref))
+	}
+}
+
+// TestHistogramSmallValuesExact: values under 64 land in unit buckets.
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := uint64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	for i := 1; i <= 64; i++ {
+		q := float64(i) / 64
+		if got := h.Quantile(q); got != uint64(i-1) {
+			t.Fatalf("Quantile(%g) = %d, want %d", q, got, i-1)
+		}
+	}
+}
+
+// TestHistogramMerge: merging shards equals recording everything into one.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, all Histogram
+	for i := 0; i < 10_000; i++ {
+		v := uint64(rng.Int63n(1 << 30))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatal("merged histogram differs from directly recorded one")
+	}
+}

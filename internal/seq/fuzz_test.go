@@ -47,15 +47,15 @@ func decodeSetOps(data []byte) []uc.Op {
 		key := uint64(kb % 24)
 		switch sel % 8 {
 		case 0, 1, 2:
-			ops = append(ops, uc.Op{Code: uc.OpInsert, A0: key, A1: uint64(i+1)*131 + uint64(sel)})
+			ops = append(ops, uc.Insert(key, uint64(i+1)*131 + uint64(sel)))
 		case 3, 4:
-			ops = append(ops, uc.Op{Code: uc.OpDelete, A0: key})
+			ops = append(ops, uc.Delete(key))
 		case 5:
-			ops = append(ops, uc.Op{Code: uc.OpGet, A0: key})
+			ops = append(ops, uc.Get(key))
 		case 6:
-			ops = append(ops, uc.Op{Code: uc.OpContains, A0: key})
+			ops = append(ops, uc.Contains(key))
 		case 7:
-			ops = append(ops, uc.Op{Code: uc.OpSize})
+			ops = append(ops, uc.Size())
 		}
 	}
 	return ops
@@ -76,7 +76,7 @@ func decodePairOps(data []byte, push, pop, peek uint64) []uc.Op {
 		case 6:
 			ops = append(ops, uc.Op{Code: peek})
 		case 7:
-			ops = append(ops, uc.Op{Code: uc.OpSize})
+			ops = append(ops, uc.Size())
 		}
 	}
 	return ops

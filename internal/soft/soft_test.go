@@ -49,25 +49,25 @@ func (w *world) run(workers int, crashAt uint64, seed int64, fn func(*sim.Thread
 func TestBasicOps(t *testing.T) {
 	w := build(t, Config{Buckets: 64}, nvm.Config{}, 1)
 	w.run(1, 0, 100, func(th *sim.Thread, tid int) {
-		if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: 1, A1: 10}); got != 1 {
+		if got := w.s.Execute(th, tid, uc.Insert(1, 10)); got != 1 {
 			t.Errorf("insert = %d", got)
 		}
-		if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: 1}); got != 10 {
+		if got := w.s.Execute(th, tid, uc.Get(1)); got != 10 {
 			t.Errorf("get = %d", got)
 		}
-		if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: 1, A1: 20}); got != 0 {
+		if got := w.s.Execute(th, tid, uc.Insert(1, 20)); got != 0 {
 			t.Errorf("update = %d", got)
 		}
-		if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: 1}); got != 20 {
+		if got := w.s.Execute(th, tid, uc.Get(1)); got != 20 {
 			t.Errorf("get after update = %d", got)
 		}
-		if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: 1}); got != 1 {
+		if got := w.s.Execute(th, tid, uc.Delete(1)); got != 1 {
 			t.Errorf("delete = %d", got)
 		}
-		if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: 1}); got != uc.NotFound {
+		if got := w.s.Execute(th, tid, uc.Get(1)); got != uc.NotFound {
 			t.Errorf("get deleted = %d", got)
 		}
-		if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: 1}); got != 0 {
+		if got := w.s.Execute(th, tid, uc.Delete(1)); got != 0 {
 			t.Errorf("delete absent = %d", got)
 		}
 	})
@@ -77,7 +77,7 @@ func TestReadsDoNotFlushOrFence(t *testing.T) {
 	w := build(t, Config{Buckets: 64}, nvm.Config{Costs: sim.UnitCosts()}, 2)
 	w.run(1, 0, 200, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 50; k++ {
-			w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.s.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	fencesBefore := w.sys.Fences()
@@ -85,8 +85,8 @@ func TestReadsDoNotFlushOrFence(t *testing.T) {
 	_ = statsBefore
 	w.run(1, 0, 201, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 200; k++ {
-			w.s.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k % 50})
-			w.s.Execute(th, tid, uc.Op{Code: uc.OpContains, A0: k % 50})
+			w.s.Execute(th, tid, uc.Get(k % 50))
+			w.s.Execute(th, tid, uc.Contains(k % 50))
 		}
 	})
 	if got := w.sys.Fences(); got != fencesBefore {
@@ -100,7 +100,7 @@ func TestOneFlushOneFencePerUpdate(t *testing.T) {
 	const updates = 40
 	w.run(1, 0, 300, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < updates; k++ {
-			w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.s.Execute(th, tid, uc.Insert(k, k))
 		}
 	})
 	if got := w.sys.Fences() - before; got != updates {
@@ -114,7 +114,7 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 	w.run(workers, 0, 400, func(th *sim.Thread, tid int) {
 		for i := uint64(0); i < per; i++ {
 			k := uint64(tid)*1000 + i
-			if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k + 5}); got != 1 {
+			if got := w.s.Execute(th, tid, uc.Insert(k, k + 5)); got != 1 {
 				t.Errorf("insert = %d", got)
 			}
 		}
@@ -140,10 +140,10 @@ func TestPNodeReuse(t *testing.T) {
 		// Insert/delete cycles far beyond slab capacity must succeed thanks
 		// to node reuse. Slab: (4096−8)/8 ≈ 511 nodes; run 2000 cycles.
 		for i := uint64(0); i < 2000; i++ {
-			if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: i, A1: i}); got != 1 {
+			if got := w.s.Execute(th, tid, uc.Insert(i, i)); got != 1 {
 				t.Fatalf("insert %d = %d", i, got)
 			}
-			if got := w.s.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: i}); got != 1 {
+			if got := w.s.Execute(th, tid, uc.Delete(i)); got != 1 {
 				t.Fatalf("delete %d = %d", i, got)
 			}
 		}
@@ -164,11 +164,11 @@ func TestConcurrentMixedWorkloadOverlappingKeys(t *testing.T) {
 			k := uint64(rng.Intn(512)) // heavy key overlap across workers
 			switch rng.Intn(3) {
 			case 0:
-				w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+				w.s.Execute(th, tid, uc.Insert(k, k))
 			case 1:
-				w.s.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: k})
+				w.s.Execute(th, tid, uc.Delete(k))
 			default:
-				w.s.Execute(th, tid, uc.Op{Code: uc.OpGet, A0: k})
+				w.s.Execute(th, tid, uc.Get(k))
 			}
 		}
 	})
@@ -199,7 +199,7 @@ func TestCrashRecoversCompletedUpdates(t *testing.T) {
 	sch := w.run(workers, 40_000, 600, func(th *sim.Thread, tid int) {
 		for i := uint64(0); ; i++ {
 			k := uint64(tid)<<32 | i
-			w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.s.Execute(th, tid, uc.Insert(k, k))
 			completed[tid] = i + 1
 		}
 	})
@@ -233,10 +233,10 @@ func TestDeletedKeysStayDeletedAfterCrash(t *testing.T) {
 	w := build(t, cfg, nvm.Config{}, 7)
 	w.run(1, 0, 800, func(th *sim.Thread, tid int) {
 		for k := uint64(0); k < 40; k++ {
-			w.s.Execute(th, tid, uc.Op{Code: uc.OpInsert, A0: k, A1: k})
+			w.s.Execute(th, tid, uc.Insert(k, k))
 		}
 		for k := uint64(0); k < 40; k += 2 {
-			w.s.Execute(th, tid, uc.Op{Code: uc.OpDelete, A0: k})
+			w.s.Execute(th, tid, uc.Delete(k))
 		}
 	})
 	// Clean shutdown then "crash": everything fenced, so recovery must see

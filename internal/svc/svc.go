@@ -1,0 +1,318 @@
+// Package svc is the asynchronous client front-end over a universal
+// construction: clients Submit operations and get back Futures; per-shard
+// consumer threads drain the submission rings and push whole batches into
+// the construction through one combiner handoff (core.PREP.ExecuteBatch),
+// amortizing the contended logTail CAS and combiner acquisition over the
+// batch.
+//
+// Completion and durability are decoupled (delay-free style): Future.Wait
+// returns as soon as the operation has executed and its result is known,
+// while Future.Durable additionally blocks until the operation would survive
+// a crash — an explicit persistence barrier the client pays only when it
+// needs the guarantee.
+//
+// The ring is a fixed-size MPSC queue in simulated node-local volatile
+// memory, so producers pay realistic coherence costs for the tail CAS and
+// the consumer reads entries at local latency. Results travel host-side
+// through the Future (the simulated machine would return them through a
+// completion ring; the virtual-time cost of that path is the consumer's
+// stores, which the entry writes already charge).
+package svc
+
+import (
+	"fmt"
+
+	"prepuc/internal/metrics"
+	"prepuc/internal/nvm"
+	"prepuc/internal/numa"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// Ring memory layout (word offsets). Head and tail live on separate cache
+// lines; each entry occupies one line.
+const (
+	ringHead    = 0                    // consumer cursor (plain store)
+	ringTail    = nvm.WordsPerLine     // producer cursor (CAS)
+	ringEntries = 2 * nvm.WordsPerLine // first entry
+	entryWords  = nvm.WordsPerLine
+	entryState  = 0
+	entryCode   = 1
+	entryA0     = 2
+	entryA1     = 3
+)
+
+// Batcher is the batched execution path of a construction. core.PREP
+// implements it; constructions that don't are driven per-op.
+type Batcher interface {
+	ExecuteBatch(t *sim.Thread, tid int, ops []uc.Op, res []uint64) uint64
+}
+
+// DurabilityWaiter turns a Batcher durability mark into a barrier.
+type DurabilityWaiter interface {
+	AwaitDurable(t *sim.Thread, mark uint64)
+}
+
+// Future is the handle for one submitted operation. Fields are written by
+// the service only; readers use them after Wait (or Done reports true).
+type Future struct {
+	// Result is the operation's return value, valid once Done.
+	Result uint64
+	// Done is set by the consumer after the operation executed.
+	Done bool
+	// Mark is the durability mark of the batch that carried the operation
+	// (0 when the construction has no batched path or the op was read-only).
+	Mark uint64
+	// ArrivalNS and DoneNS bracket the operation's life in virtual time:
+	// arrival is when the (possibly open-loop) client generated it, DoneNS
+	// when its result was delivered. DoneNS − ArrivalNS is the latency a
+	// coordinated-omission-free measurement wants.
+	ArrivalNS uint64
+	DoneNS    uint64
+
+	svc *Service
+}
+
+// Wait blocks (spinning in virtual time) until the future completes and
+// returns its result.
+func (f *Future) Wait(t *sim.Thread) uint64 {
+	var b spin
+	for !f.Done {
+		b.spin(t, 1024)
+	}
+	return f.Result
+}
+
+// Durable waits for completion and then for the operation's durability: on
+// return the operation's effect would survive a crash at any later instant.
+// For constructions without a DurabilityWaiter it is identical to Wait.
+func (f *Future) Durable(t *sim.Thread) uint64 {
+	res := f.Wait(t)
+	if f.svc.waiter != nil && f.Mark != 0 {
+		f.svc.waiter.AwaitDurable(t, f.Mark)
+	}
+	return res
+}
+
+// Config configures a Service.
+type Config struct {
+	// Engine executes operations; if it also implements Batcher, drained
+	// batches go through ExecuteBatch, otherwise one Execute per op.
+	Engine uc.UC
+	// Topology places each shard's ring on the consumer's node.
+	Topology numa.Topology
+	// Shards is the number of submission rings (and consumer threads).
+	// Shard s's consumer runs as worker tid s; spawn it on Topology.NodeOf(s).
+	Shards int
+	// RingSize is the per-shard ring capacity in entries (power of two).
+	RingSize uint64
+	// MaxBatch caps how many contiguous entries one drain hands to
+	// ExecuteBatch; 0 means core.MaxBatch-compatible 64.
+	MaxBatch int
+	// NamePrefix namespaces the ring memories. Memory names are global to a
+	// System and survive Recover, so a service built on a recovered system
+	// must use a fresh prefix (e.g. "svc2") to avoid clashing with the
+	// pre-crash generation's rings.
+	NamePrefix string
+	// Batched disables the batched path when false even if Engine implements
+	// Batcher (for per-op baselines).
+	Batched bool
+	// OnComplete, if set, is invoked for every completed future (after its
+	// fields are final). The open-loop harness hooks latency histograms here.
+	OnComplete func(shard int, f *Future)
+}
+
+// Service owns the per-shard submission rings.
+type Service struct {
+	cfg     Config
+	batcher Batcher // nil when disabled or unimplemented
+	waiter  DurabilityWaiter
+	met     *metrics.Registry
+	rings   []*ring
+	stopped bool
+}
+
+// ring is one shard's MPSC submission queue plus its host-side future table.
+type ring struct {
+	mem     *nvm.Memory
+	size    uint64
+	futures []*Future
+	// submitted and completed are host-side tallies the crash harness reads
+	// to size the in-flight window at a crash cut.
+	submitted uint64
+	completed uint64
+}
+
+// fullMark is the nonzero state value marking entry idx written; the parity
+// flip per lap means a previous lap's mark can never read as full.
+func (r *ring) fullMark(idx uint64) uint64 { return 1 + (idx/r.size)%2 }
+
+func (r *ring) entryOff(idx uint64) uint64 {
+	return ringEntries + (idx%r.size)*entryWords
+}
+
+// New builds the service and its rings on sys.
+func New(t *sim.Thread, sys *nvm.System, cfg Config) (*Service, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("svc: Shards must be positive, got %d", cfg.Shards)
+	}
+	if cfg.RingSize == 0 || cfg.RingSize&(cfg.RingSize-1) != 0 {
+		return nil, fmt.Errorf("svc: RingSize must be a power of two, got %d", cfg.RingSize)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "svc"
+	}
+	s := &Service{cfg: cfg, met: sys.Metrics()}
+	if cfg.Batched {
+		s.batcher, _ = cfg.Engine.(Batcher)
+	}
+	s.waiter, _ = cfg.Engine.(DurabilityWaiter)
+	for shard := 0; shard < cfg.Shards; shard++ {
+		mem := sys.NewMemory(fmt.Sprintf("%s.ring%d", cfg.NamePrefix, shard),
+			nvm.Volatile, cfg.Topology.NodeOf(shard), ringEntries+cfg.RingSize*entryWords)
+		s.rings = append(s.rings, &ring{
+			mem:     mem,
+			size:    cfg.RingSize,
+			futures: make([]*Future, cfg.RingSize),
+		})
+	}
+	return s, nil
+}
+
+// Client returns a submission handle bound to one shard. Any number of
+// producer threads may share a client (the ring is MPSC).
+type Client struct {
+	svc   *Service
+	shard int
+	r     *ring
+}
+
+// Client returns the handle for shard.
+func (s *Service) Client(shard int) *Client {
+	return &Client{svc: s, shard: shard, r: s.rings[shard]}
+}
+
+// TrySubmit attempts to enqueue op, stamping the future with arrivalNS. It
+// fails (nil, false) when the ring is full — open-loop injectors keep their
+// own overflow queue rather than blocking the arrival timeline.
+func (c *Client) TrySubmit(t *sim.Thread, op uc.Op, arrivalNS uint64) (*Future, bool) {
+	r := c.r
+	for {
+		tail := r.mem.Load(t, ringTail)
+		if tail-r.mem.Load(t, ringHead) >= r.size {
+			c.svc.met.RingFullStalls++
+			return nil, false
+		}
+		if !r.mem.CAS(t, ringTail, tail, tail+1) {
+			continue
+		}
+		f := &Future{svc: c.svc, ArrivalNS: arrivalNS}
+		r.futures[tail%r.size] = f
+		off := r.entryOff(tail)
+		r.mem.Store(t, off+entryCode, op.Code)
+		r.mem.Store(t, off+entryA0, op.A0)
+		r.mem.Store(t, off+entryA1, op.A1)
+		r.mem.Store(t, off+entryState, r.fullMark(tail))
+		r.submitted++
+		c.svc.met.RingSubmits++
+		return f, true
+	}
+}
+
+// Submit enqueues op, blocking (with backoff) while the ring is full. The
+// arrival stamp is the submission instant.
+func (c *Client) Submit(t *sim.Thread, op uc.Op) *Future {
+	var b spin
+	for {
+		if f, ok := c.TrySubmit(t, op, t.Clock()); ok {
+			return f
+		}
+		b.spin(t, 4096)
+	}
+}
+
+// Submitted and Completed report the shard's host-side tallies.
+func (c *Client) Submitted() uint64 { return c.r.submitted }
+func (c *Client) Completed() uint64 { return c.r.completed }
+
+// Stop asks every consumer to exit once its ring is drained. Host-side: the
+// caller decides the machine is done (e.g. all injectors finished), which no
+// simulated agent needs to observe.
+func (s *Service) Stop() { s.stopped = true }
+
+// serveIdleCost is the virtual cost of one empty consumer poll.
+const serveIdleCost = 200
+
+// Serve is shard's consumer loop: drain up to MaxBatch contiguous submitted
+// entries, execute them as one batch, complete the futures, repeat. It runs
+// as worker tid shard and returns after Stop once the ring is empty.
+func (s *Service) Serve(t *sim.Thread, shard int) {
+	r := s.rings[shard]
+	ops := make([]uc.Op, s.cfg.MaxBatch)
+	res := make([]uint64, s.cfg.MaxBatch)
+	futs := make([]*Future, s.cfg.MaxBatch)
+	for {
+		head := r.mem.Load(t, ringHead)
+		n := 0
+		for n < s.cfg.MaxBatch {
+			idx := head + uint64(n)
+			off := r.entryOff(idx)
+			// Stop at the first entry not yet fully written — including a
+			// slot a producer has CASed but not filled.
+			if r.mem.Load(t, off+entryState) != r.fullMark(idx) {
+				break
+			}
+			ops[n] = uc.Op{
+				Code: r.mem.Load(t, off+entryCode),
+				A0:   r.mem.Load(t, off+entryA0),
+				A1:   r.mem.Load(t, off+entryA1),
+			}
+			futs[n] = r.futures[idx%r.size]
+			n++
+		}
+		if n == 0 {
+			if s.stopped {
+				return
+			}
+			t.Step(serveIdleCost)
+			continue
+		}
+		r.mem.Store(t, ringHead, head+uint64(n))
+		var mark uint64
+		if s.batcher != nil {
+			mark = s.batcher.ExecuteBatch(t, shard, ops[:n], res[:n])
+		} else {
+			for i := 0; i < n; i++ {
+				res[i] = s.cfg.Engine.Execute(t, shard, ops[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			f := futs[i]
+			f.Result = res[i]
+			f.Mark = mark
+			f.DoneNS = t.Clock()
+			f.Done = true
+			r.completed++
+			if s.cfg.OnComplete != nil {
+				s.cfg.OnComplete(shard, f)
+			}
+		}
+	}
+}
+
+// spin is truncated exponential backoff (mirrors core's; kept local so the
+// engine internals stay unexported).
+type spin struct{ cur uint64 }
+
+func (b *spin) spin(t *sim.Thread, cap uint64) {
+	if b.cur == 0 {
+		b.cur = 16
+	}
+	t.Step(b.cur)
+	if b.cur < cap {
+		b.cur *= 2
+	}
+}

@@ -1,0 +1,46 @@
+package uc
+
+// Typed operation constructors. Call sites used to spell operations as raw
+// (code, a0, a1) triples — uc.Insert(k, v) — which
+// reads fine in the engine (the log stores exactly that) but is noise and an
+// argument-order hazard everywhere else. These constructors are the client
+// vocabulary; the triple encoding stays an engine detail.
+
+// Get looks a key up in a map, returning its value or NotFound.
+func Get(k uint64) Op { return Op{Code: OpGet, A0: k} }
+
+// Contains tests key membership (1 present, 0 absent).
+func Contains(k uint64) Op { return Op{Code: OpContains, A0: k} }
+
+// Insert maps k to v, replacing any previous value.
+func Insert(k, v uint64) Op { return Op{Code: OpInsert, A0: k, A1: v} }
+
+// Delete removes a key.
+func Delete(k uint64) Op { return Op{Code: OpDelete, A0: k} }
+
+// Size reports the number of elements.
+func Size() Op { return Op{Code: OpSize} }
+
+// Push pushes v onto a stack.
+func Push(v uint64) Op { return Op{Code: OpPush, A0: v} }
+
+// Pop pops the top of a stack, returning NotFound when empty.
+func Pop() Op { return Op{Code: OpPop} }
+
+// Top peeks at the top of a stack without removing it.
+func Top() Op { return Op{Code: OpTop} }
+
+// Enqueue appends v to a FIFO queue (or inserts into a priority queue).
+func Enqueue(v uint64) Op { return Op{Code: OpEnqueue, A0: v} }
+
+// Dequeue removes the head of a FIFO queue, returning NotFound when empty.
+func Dequeue() Op { return Op{Code: OpDequeue} }
+
+// Peek reads the head of a FIFO queue without removing it.
+func Peek() Op { return Op{Code: OpPeek} }
+
+// DeleteMin removes the minimum of a priority queue.
+func DeleteMin() Op { return Op{Code: OpDeleteMin} }
+
+// Min reads the minimum of a priority queue without removing it.
+func Min() Op { return Op{Code: OpMin} }

@@ -71,17 +71,20 @@ func OpName(code uint64) string {
 	}
 }
 
+// opCodes is OpName inverted, built once at init so OpCode is a single map
+// lookup instead of a scan that re-renders every name per query.
+var opCodes = func() map[string]uint64 {
+	m := make(map[string]uint64, OpMin)
+	for code := OpGet; code <= OpMin; code++ {
+		m[OpName(code)] = code
+	}
+	return m
+}()
+
 // OpCode is the inverse of OpName: it resolves a human-readable operation
 // name (as used in workload specs and bench output) back to its code,
 // returning 0 for names OpName never produces.
-func OpCode(name string) uint64 {
-	for code := OpGet; code <= OpMin; code++ {
-		if OpName(code) == name {
-			return code
-		}
-	}
-	return 0
-}
+func OpCode(name string) uint64 { return opCodes[name] }
 
 // Op is one encoded operation.
 type Op struct {
@@ -112,6 +115,33 @@ type Factory func(t *sim.Thread, a *pmem.Allocator) DataStructure
 // Attacher re-opens an instance previously created by the matching Factory
 // in a heap that survived a crash.
 type Attacher func(t *sim.Thread, a *pmem.Allocator) DataStructure
+
+// Sequential-model names for ObjectType.Model. They are strings rather than
+// linearize.Model values because the checker imports this package; the
+// harness maps a name to the concrete model.
+const (
+	ModelSet    = "set"
+	ModelQueue  = "queue"
+	ModelStack  = "stack"
+	ModelPQueue = "pqueue"
+)
+
+// ObjectType bundles everything the harness and service layers need to know
+// about one sequential object: how to create it, how to re-open it after a
+// crash, and which sequential model checks histories driven through it. It
+// replaces the parallel Factory/Attacher pairs that used to be threaded
+// through every builder signature side by side.
+type ObjectType struct {
+	// Name identifies the structure in catalogs and output ("hashmap", ...).
+	Name string
+	// New creates a fresh instance (the former free-standing Factory).
+	New Factory
+	// Attach re-opens a crashed instance created by New.
+	Attach Attacher
+	// Model names the sequential specification for the linearizability
+	// checker (ModelSet, ModelQueue, ModelStack or ModelPQueue).
+	Model string
+}
 
 // UC is a universal construction: it turns the sequential object it was
 // built around into a linearizable concurrent one.
