@@ -11,15 +11,24 @@
 //	steady  the full schedule runs against an undisturbed machine;
 //	crash   the whole machine freezes mid-load at -crash-at, the
 //	        construction recovers, the (volatile) submission rings are
-//	        rebuilt, and the load resumes: in-flight operations are
-//	        retried, the outage window's arrivals are charged their full
-//	        queueing delay, and the report carries the recovery stall
-//	        window and backlog drain time.
+//	        rebuilt, and the load resumes: the in-flight window is
+//	        deduplicated against recovery's operation descriptors where
+//	        the construction records them (the PREP drivers — exactly
+//	        once, duplicates_applied measured) and blindly retried where
+//	        it does not, the outage window's arrivals are charged their
+//	        full queueing delay, and the report carries the recovery
+//	        stall window, backlog drain time and resolution tallies.
+//
+// -policy arms a fault adversary over the crash cut's unfenced lines
+// (persistall, dropall, coinflip[=p], targeted[=n]). -check verifies every
+// run for (buffered) durable linearizability — the crash epoch's in-flight
+// operations held to their descriptor verdicts — and the process exits
+// nonzero if any system fails it.
 //
 // Both scenarios run against all five recoverable constructions
 // (PREP-Durable, PREP-Buffered, CX-PUC, SOFT, ONLL) unless -system narrows
 // the set. -format json emits one machine-readable document with schema
-// "prepuc-serve/v1".
+// "prepuc-serve/v2".
 package main
 
 import (
@@ -55,13 +64,19 @@ var (
 	burstX   = flag.Float64("burst-factor", 4, "arrival-rate multiplier inside bursts")
 
 	crashAt = flag.Uint64("crash-at", 0, "crash instant in virtual ns (0: duration/2; crash scenario only)")
+	policy  = flag.String("policy", "", "crash-time fault adversary: persistall, dropall, coinflip[=p], targeted[=n] (empty: fence-accurate default)")
+	check   = flag.Bool("check", false, "verify each run for (buffered) durable linearizability; exit 1 on failure")
 	seed    = flag.Int64("seed", 1, "base seed")
 	format  = flag.String("format", "table", "output format: table or json")
 	outPath = flag.String("o", "", "write results to this file (default stdout)")
 )
 
 // ServeSchema identifies the machine-readable prepserve output format.
-const ServeSchema = "prepuc-serve/v1"
+// v2 added the detectable-recovery fields to crash blocks (detectable,
+// in_flight_resolved, resolved_completed, duplicates_applied), the fault
+// "policy" and the optional per-system "check" block; the v1 fields are
+// unchanged.
+const ServeSchema = "prepuc-serve/v2"
 
 // serveDoc is the whole run.
 type serveDoc struct {
@@ -73,6 +88,8 @@ type serveDoc struct {
 	Shards            int                    `json:"shards"`
 	Batched           bool                   `json:"batched"`
 	Seed              int64                  `json:"seed"`
+	Policy            string                 `json:"policy"`
+	Check             bool                   `json:"check"`
 	Systems           []*harness.ServeResult `json:"systems"`
 }
 
@@ -81,19 +98,19 @@ func systemFlag(name string) string {
 	return strings.ReplaceAll(strings.ToLower(name), "-puc", "")
 }
 
-func main() {
-	flag.Parse()
-	if *scenario != "steady" && *scenario != "crash" {
-		fmt.Fprintf(os.Stderr, "prepserve: unknown scenario %q\n", *scenario)
-		os.Exit(2)
-	}
-
+// buildDoc runs the selected scenario against the selected systems under the
+// current flag values and returns the document plus the number of failed
+// linearize checks. Table-format rendering goes to progress as the runs
+// finish.
+func buildDoc(progress io.Writer) (*serveDoc, int, error) {
 	cfg := harness.ServeConfig{
 		Shards:   *shards,
 		RingSize: *ringSize,
 		MaxBatch: *maxBatch,
 		Batched:  *batched,
 		Seed:     *seed,
+		Policy:   *policy,
+		Check:    *check,
 		Open: openloop.Config{
 			Clients:      *clients,
 			Keys:         *keys,
@@ -115,6 +132,43 @@ func main() {
 		}
 	}
 
+	doc := &serveDoc{
+		Schema: ServeSchema, Scenario: *scenario,
+		Clients: *clients, RateOpsPerSec: *rate,
+		DurationVirtualNS: *duration, Shards: *shards,
+		Batched: *batched, Seed: *seed,
+		Policy: *policy, Check: *check,
+	}
+	failures := 0
+	for _, d := range harness.ServeDrivers(*shards, *epsilon) {
+		if *system != "all" && *system != systemFlag(d.Name) {
+			continue
+		}
+		res, err := harness.RunServe(d, cfg)
+		if err != nil {
+			return nil, failures, err
+		}
+		doc.Systems = append(doc.Systems, res)
+		if res.Check != nil && !res.Check.OK {
+			failures++
+		}
+		if *format != "json" {
+			printResult(progress, res)
+		}
+	}
+	if len(doc.Systems) == 0 {
+		return nil, failures, fmt.Errorf("unknown system %q", *system)
+	}
+	return doc, failures, nil
+}
+
+func main() {
+	flag.Parse()
+	if *scenario != "steady" && *scenario != "crash" {
+		fmt.Fprintf(os.Stderr, "prepserve: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -126,29 +180,14 @@ func main() {
 		out = f
 	}
 
-	doc := serveDoc{
-		Schema: ServeSchema, Scenario: *scenario,
-		Clients: *clients, RateOpsPerSec: *rate,
-		DurationVirtualNS: *duration, Shards: *shards,
-		Batched: *batched, Seed: *seed,
+	progress := out
+	if *format == "json" {
+		progress = io.Discard
 	}
-	for _, d := range harness.ServeDrivers(*shards, *epsilon) {
-		if *system != "all" && *system != systemFlag(d.Name) {
-			continue
-		}
-		res, err := harness.RunServe(d, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "prepserve: %v\n", err)
-			os.Exit(1)
-		}
-		doc.Systems = append(doc.Systems, res)
-		if *format != "json" {
-			printResult(out, res)
-		}
-	}
-	if len(doc.Systems) == 0 {
-		fmt.Fprintf(os.Stderr, "prepserve: unknown system %q\n", *system)
-		os.Exit(2)
+	doc, failures, err := buildDoc(progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prepserve: %v\n", err)
+		os.Exit(1)
 	}
 	if *format == "json" {
 		enc := json.NewEncoder(out)
@@ -157,6 +196,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "prepserve: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "prepserve: %d system(s) failed the linearize check\n", failures)
+		os.Exit(1)
 	}
 }
 
@@ -178,5 +221,18 @@ func printResult(w io.Writer, r *harness.ServeResult) {
 			c.CrashAtNS, float64(c.RecoveryVirtualNS)/1e6, c.Replayed,
 			float64(c.StallNS)/1e6, c.LostInflight, c.BacklogAtResume,
 			float64(c.BacklogDrainNS)/1e6)
+		if c.Detectable {
+			fmt.Fprintf(w, "  detect: in_flight_resolved=%d resolved_completed=%d duplicates_applied=%d\n",
+				c.InFlightResolved, c.ResolvedCompleted, *c.DuplicatesApplied)
+		}
+	}
+	if cb := r.Check; cb != nil {
+		if cb.OK {
+			fmt.Fprintf(w, "  check: %s ok epochs=%d ops=%d lost=%d committed=%d never=%d\n",
+				cb.Mode, cb.Epochs, cb.Ops, cb.Lost, cb.InFlightCommitted, cb.InFlightNever)
+		} else {
+			fmt.Fprintf(w, "  check: %s FAILED epoch=%d %s: %s\n",
+				cb.Mode, cb.FailedEpoch, cb.FailedPartition, cb.Reason)
+		}
 	}
 }

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// withFlags sets command-line flags for one subtest and restores them after.
+func withFlags(t *testing.T, vals map[string]string) {
+	t.Helper()
+	for name, v := range vals {
+		f := flag.Lookup(name)
+		if f == nil {
+			t.Fatalf("unknown flag %q", name)
+		}
+		old := f.Value.String()
+		if err := flag.Set(name, v); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { flag.Set(name, old) })
+	}
+}
+
+// serveBase is a small deterministic run: every field of the document is
+// virtual-time or seed-derived, so the goldens lock it byte for byte.
+var serveBase = map[string]string{
+	"shards": "2", "ring": "256", "batch": "32", "epsilon": "16",
+	"clients": "20000", "keys": "4096", "skew": "1.2", "readpct": "80",
+	"rate": "2e+06", "duration": "400000", "think": "20000",
+	"burst-every": "100000", "burst-len": "20000", "burst-factor": "4",
+	"seed": "42", "format": "json",
+}
+
+// TestSchemaGolden locks the prepuc-serve/v2 JSON document byte for byte.
+// One golden covers the steady scenario, one the checked crash scenario
+// under the targeted fault adversary — the detectable-recovery additions
+// (crash.detectable, in_flight_resolved, resolved_completed,
+// duplicates_applied) and the per-system check block. Run
+// `go test ./cmd/prepserve -run TestSchemaGolden -update` to regenerate
+// after an intentional (additive-only) schema change.
+func TestSchemaGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		extra  map[string]string
+	}{
+		{"steady", "serve_v2_steady.golden.json",
+			map[string]string{"scenario": "steady", "check": "true"}},
+		{"crash", "serve_v2_crash.golden.json",
+			map[string]string{"scenario": "crash", "crash-at": "200000",
+				"policy": "targeted", "check": "true"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			withFlags(t, serveBase)
+			withFlags(t, tc.extra)
+			var progress bytes.Buffer
+			doc, failures, err := buildDoc(&progress)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if failures != 0 {
+				t.Fatalf("deterministic run failed %d checks", failures)
+			}
+			got, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("schema document drifted from %s (regenerate with -update if intentional)\ngot:\n%s", path, got)
+			}
+		})
+	}
+}
+
+// TestSchemaRequiredFields guards the wire contract independently of the
+// golden bytes: the v1 field names and the v2 detect/check additions must
+// survive any refactor of the Go structs.
+func TestSchemaRequiredFields(t *testing.T) {
+	withFlags(t, serveBase)
+	withFlags(t, map[string]string{
+		"scenario": "crash", "crash-at": "200000",
+		"policy": "coinflip", "check": "true",
+	})
+	var progress bytes.Buffer
+	doc, failures, err := buildDoc(&progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("run failed %d checks", failures)
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema"] != ServeSchema {
+		t.Fatalf("schema = %v, want %v", m["schema"], ServeSchema)
+	}
+	for _, k := range []string{"scenario", "clients", "rate_ops_per_sec",
+		"duration_virtual_ns", "shards", "batched", "seed", "policy", "check", "systems"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("document is missing top-level field %q", k)
+		}
+	}
+	systems := m["systems"].([]any)
+	if len(systems) != 5 {
+		t.Fatalf("got %d systems, want 5", len(systems))
+	}
+	for _, s := range systems {
+		sm := s.(map[string]any)
+		name := sm["system"].(string)
+		for _, k := range []string{"submitted", "completed", "ops_per_sec", "latency_ns", "ring", "crash", "check"} {
+			if _, ok := sm[k]; !ok {
+				t.Errorf("%s: record is missing field %q", name, k)
+			}
+		}
+		crash := sm["crash"].(map[string]any)
+		for _, k := range []string{"crash_at_ns", "recovery_virtual_ns", "replayed",
+			"stall_ns", "lost_inflight", "backlog_at_resume", "backlog_drain_ns",
+			"detectable", "in_flight_resolved", "resolved_completed"} {
+			if _, ok := crash[k]; !ok {
+				t.Errorf("%s: crash block is missing field %q", name, k)
+			}
+		}
+		detect := crash["detectable"].(bool)
+		dup, hasDup := crash["duplicates_applied"]
+		if detect != hasDup {
+			t.Errorf("%s: detectable=%v but duplicates_applied present=%v", name, detect, hasDup)
+		}
+		if detect {
+			if dup.(float64) != 0 {
+				t.Errorf("%s: duplicates_applied = %v, want 0", name, dup)
+			}
+			if crash["in_flight_resolved"] != crash["lost_inflight"] {
+				t.Errorf("%s: resolved %v of %v in-flight operations",
+					name, crash["in_flight_resolved"], crash["lost_inflight"])
+			}
+		}
+		check := sm["check"].(map[string]any)
+		for _, k := range []string{"mode", "ok", "epochs", "ops", "lost",
+			"in_flight_committed", "in_flight_never", "failed_epoch"} {
+			if _, ok := check[k]; !ok {
+				t.Errorf("%s: check block is missing field %q", name, k)
+			}
+		}
+		if check["ok"] != true {
+			t.Errorf("%s: check failed: %v", name, check)
+		}
+	}
+}
+
+// TestCheckOffByDefault proves an unchecked document carries no "check" key
+// per system — the v1-compatible shape.
+func TestCheckOffByDefault(t *testing.T) {
+	withFlags(t, serveBase)
+	withFlags(t, map[string]string{"scenario": "steady", "system": "soft"})
+	var progress bytes.Buffer
+	doc, _, err := buildDoc(&progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(doc)
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	sm := m["systems"].([]any)[0].(map[string]any)
+	if _, ok := sm["check"]; ok {
+		t.Error("unchecked run emitted a check block")
+	}
+	if _, ok := sm["crash"]; ok {
+		t.Error("steady run emitted a crash block")
+	}
+}

@@ -46,9 +46,13 @@ func (p *PREP) ExecuteBatch(t *sim.Thread, tid int, ops []uc.Op, res []uint64) u
 	f := rep.flusher // nil outside durable mode
 
 	num := uint64(0)
+	det := false
 	for _, op := range ops {
 		if !rep.ds.IsReadOnly(op.Code) {
 			num++
+			if op.Invid != 0 && p.desc != nil {
+				det = true
+			}
 		}
 	}
 	p.met.RingBatches++
@@ -59,6 +63,9 @@ func (p *PREP) ExecuteBatch(t *sim.Thread, tid int, ops []uc.Op, res []uint64) u
 	var b backoff
 	for !rep.combiner.TryAcquire(t) {
 		b.spin(t, 1024)
+	}
+	if det {
+		return p.executeBatchDetect(t, tid, rep, ops, res, num)
 	}
 
 	var tail, newTail uint64
@@ -141,6 +148,97 @@ func (p *PREP) ExecuteBatch(t *sim.Thread, tid int, ops []uc.Op, res []uint64) u
 	if num == 0 {
 		return 0
 	}
+	return newTail
+}
+
+// executeBatchDetect is ExecuteBatch past the combiner acquisition when the
+// batch carries invocation ids, in the detectable order of combineDetect:
+// args published not-full, replica caught up, batch applied with a
+// descriptor written (durable: flushed) per detectable update, one fence,
+// and only then the full marks. Every descriptor lands in worker tid's slot
+// region; at most one batch of at most MaxBatch = DescSlots operations is
+// outstanding per tid, so an unacknowledged descriptor is never
+// overwritten. The caller holds the combiner lock; this releases it.
+//
+// Read-only operations in the batch never get descriptors — re-executing a
+// read after a crash is always legal, so their post-crash verdict is simply
+// "never applied, resubmit".
+func (p *PREP) executeBatchDetect(t *sim.Thread, tid int, rep *replica, ops []uc.Op, res []uint64, num uint64) uint64 {
+	durable := p.cfg.Mode == Durable
+	f := rep.flusher
+
+	p.met.ObserveBatch(num)
+	tail := p.reserveLogEntries(t, rep, num)
+	newTail := tail + num
+
+	i := uint64(0)
+	for _, op := range ops {
+		if rep.ds.IsReadOnly(op.Code) {
+			continue
+		}
+		p.log.WriteArgs(t, tail+i, op.Code, op.A0, op.A1)
+		if durable {
+			f.FlushLine(t, p.log.Mem(), p.log.EntryOff(tail+i))
+		}
+		i++
+	}
+
+	rep.rw.WriteLock(t)
+	p.applyLog(t, rep.ds, rep.localTail(t), tail, f, func(applied uint64) {
+		rep.setLocalTail(t, applied)
+	})
+
+	// Execute in submitted order: updates replay from their entries (and
+	// record descriptors), reads run against the replica and see every
+	// earlier update of their own batch.
+	i = 0
+	for j, op := range ops {
+		t.Step(p.sys.Costs().OpBase)
+		if rep.ds.IsReadOnly(op.Code) {
+			p.met.Reads++
+			res[j] = rep.ds.Execute(t, op.Code, op.A0, op.A1)
+			continue
+		}
+		p.met.Updates++
+		code, a0, a1 := p.log.ReadEntry(t, tail+i)
+		res[j] = rep.ds.Execute(t, code, a0, a1)
+		if op.Invid != 0 {
+			off := p.desc.write(t, tid, op.Invid, tail+i, res[j])
+			p.met.DescriptorWrites++
+			if durable {
+				f.FlushLine(t, p.desc.mem, off)
+				p.met.DescriptorFlushes++
+			}
+		}
+		i++
+	}
+	if durable {
+		f.Fence(t) // entries, catch-up lines and descriptors all durable
+	}
+	for k := uint64(0); k < num; k++ {
+		p.log.SetFull(t, tail+k)
+		if durable {
+			f.FlushLine(t, p.log.Mem(), p.log.EntryOff(tail+k))
+		}
+	}
+	rep.setLocalTail(t, newTail)
+	if durable {
+		f.Fence(t)
+	}
+	for {
+		ct := p.log.CompletedTail(t)
+		if ct >= newTail {
+			break
+		}
+		if p.log.CASCompletedTail(t, ct, newTail) {
+			break
+		}
+	}
+	if durable {
+		p.log.PersistCompletedTail(t, f, newTail, !p.cfg.NoCTailElide)
+	}
+	rep.rw.WriteUnlock(t)
+	rep.combiner.Release(t)
 	return newTail
 }
 

@@ -78,6 +78,17 @@ type Config struct {
 	// Generation disambiguates memory names across crash/recovery cycles;
 	// Recover bumps it automatically.
 	Generation int
+	// Detect enables detectable execution: a per-worker persistent
+	// descriptor table records (invocation id, log position, result) for
+	// every update operation submitted with a nonzero uc.Op.Invid, so
+	// recovery can answer completed-with-result / never-applied for each
+	// in-flight invocation (RecoveryReport.Resolved). Costs one descriptor
+	// write per detectable update, plus one flush in Durable mode — no
+	// extra fences (the descriptor flush shares the pre-full-mark fence);
+	// Buffered-mode descriptors ride the checkpoint WBINVD for free. Off,
+	// the engine's behavior is bit-identical to a build without the
+	// feature.
+	Detect bool
 
 	// Ablations holds the design-ablation switches. The embedding promotes
 	// each switch (cfg.NoBatching etc.), so call sites toggling a single

@@ -30,6 +30,7 @@ const (
 	slotA0        = 2
 	slotA1        = 3
 	slotResp      = 4
+	slotInvid     = 5 // invocation id for detectable execution (0 = none)
 )
 
 // Batch slot states.
@@ -79,6 +80,10 @@ type replica struct {
 	// batchScratch backs the combiner's batch slice; like flusher it is only
 	// touched under the combiner lock, so one buffer per replica suffices.
 	batchScratch []int
+	// resScratch buffers the detectable path's batch results between apply
+	// and response delivery (persist-before-respond); combiner-lock
+	// protected like batchScratch.
+	resScratch []uint64
 }
 
 func (r *replica) localTail(t *sim.Thread) uint64 { return r.ctrl.Load(t, ctrlLocalTail) }
@@ -111,6 +116,7 @@ type PREP struct {
 	meta   *nvm.Memory
 	commit uc.CommitCell // generation-commit record; zero in Volatile mode
 	gctrl  *nvm.Memory
+	desc   *descTable // operation descriptors; nil unless cfg.Detect
 	met    *metrics.Registry
 }
 
@@ -160,6 +166,20 @@ func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
 	p.gctrl = sys.NewMemory(cfg.memName("gctrl"), nvm.Volatile, nvm.Interleaved, 64)
 	if cfg.Mode.Persistent() {
 		p.gctrl.Store(t, gFlushBoundary, cfg.Epsilon)
+	}
+
+	if cfg.Detect {
+		// The descriptor table shares the log's placement: written by any
+		// node's combiner, read only by recovery. It is volatile in Volatile
+		// mode (descriptors still record, for API uniformity and tests, but
+		// nothing persists them).
+		descKind := nvm.Volatile
+		if cfg.Mode.Persistent() {
+			descKind = nvm.NVM
+		}
+		p.desc = newDescTable(
+			sys.NewMemory(cfg.memName("desc"), descKind, nvm.Interleaved, descTableWords(cfg.Workers)),
+			cfg.Workers)
 	}
 
 	slotsBase := ctrlRW + locks.DistRWLockWords(int(p.beta))
@@ -222,11 +242,20 @@ func committedGeneration(recSys *nvm.System, fallback int) int {
 	return uc.CommittedGeneration(recSys, commitMemName, fallback)
 }
 
-// checkpoint persists every persistent replica and the metadata word.
+// checkpoint persists every persistent replica and the metadata word. With
+// detectable execution the descriptor table is checkpointed too: Buffered
+// mode's descriptors are plain volatile-path stores whose durability rides
+// this WBINVD, and the ordering below (descriptors written before full
+// marks, the persistence thread applying only full entries, the stable tail
+// advancing only through a checkpoint) guarantees every operation the
+// stable replica contains has a durable descriptor.
 func (p *PREP) checkpoint(t *sim.Thread) {
-	mems := make([]*nvm.Memory, 0, 2)
+	mems := make([]*nvm.Memory, 0, 3)
 	for _, pr := range p.preps {
 		mems = append(mems, pr.heap)
+	}
+	if p.desc != nil {
+		mems = append(mems, p.desc.mem)
 	}
 	p.sys.WBINVD(t, mems...)
 	f := p.sys.NewFlusher()
@@ -405,6 +434,9 @@ func (p *PREP) update(t *sim.Thread, rep *replica, slot int, op uc.Op) uint64 {
 	rep.ctrl.Store(t, so+slotCode, op.Code)
 	rep.ctrl.Store(t, so+slotA0, op.A0)
 	rep.ctrl.Store(t, so+slotA1, op.A1)
+	if p.desc != nil {
+		rep.ctrl.Store(t, so+slotInvid, op.Invid)
+	}
 	rep.ctrl.Store(t, so+slotState, slotPending)
 	var b backoff
 	for {
@@ -449,6 +481,14 @@ func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
 	rep.batchScratch = batch // keep any growth for the next combiner
 	num := uint64(len(batch))
 	p.met.ObserveBatch(num)
+
+	if p.desc != nil {
+		for _, s := range batch {
+			if rep.ctrl.Load(t, rep.slotOff(s)+slotInvid) != 0 {
+				return p.combineDetect(t, rep, mySlot, batch)
+			}
+		}
+	}
 
 	tail := p.reserveLogEntries(t, rep, num)
 	newTail := tail + num
@@ -516,6 +556,108 @@ func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
 			rep.ctrl.Store(t, so+slotState, slotEmpty)
 		} else {
 			rep.ctrl.Store(t, so+slotResp, res)
+			rep.ctrl.Store(t, so+slotState, slotDone)
+		}
+	}
+	rep.rw.WriteUnlock(t)
+	return myRes
+}
+
+// combineDetect is combine() in detectable order, taken when the batch
+// carries at least one invocation id. The difference from the legacy path
+// is *when* the batch executes and the full marks appear: the local replica
+// is caught up and the batch applied (computing results) first, each
+// detectable operation's descriptor is written — and, durable, flushed —
+// next, and only after the fence covering those descriptors do the full
+// marks go up. The full marks are the operations' only escape hatch: no
+// other combiner, no persistence thread, and no persisted completedTail can
+// cover an entry before its mark is set, so by the time any effect of the
+// batch can survive a crash, its descriptors already have. Cost relative to
+// the legacy path: one flush per detectable operation and zero extra fences
+// (the descriptor flushes share the fence the entry args already needed).
+//
+// Liveness is unchanged: between reservation and the full marks this
+// combiner only waits on entries *below* its reservation (the catch-up),
+// exactly like the legacy path waits during its own catch-up; induction on
+// the earliest unfull reserved entry goes through as before.
+func (p *PREP) combineDetect(t *sim.Thread, rep *replica, mySlot int, batch []int) uint64 {
+	durable := p.cfg.Mode == Durable
+	f := rep.flusher
+	num := uint64(len(batch))
+
+	tail := p.reserveLogEntries(t, rep, num)
+	newTail := tail + num
+
+	// Publish the batch's args (entries stay not-full).
+	for i, s := range batch {
+		so := rep.slotOff(s)
+		p.log.WriteArgs(t, tail+uint64(i),
+			rep.ctrl.Load(t, so+slotCode), rep.ctrl.Load(t, so+slotA0), rep.ctrl.Load(t, so+slotA1))
+		if durable {
+			f.FlushLine(t, p.log.Mem(), p.log.EntryOff(tail+uint64(i)))
+		}
+	}
+
+	rep.rw.WriteLock(t)
+	p.applyLog(t, rep.ds, rep.localTail(t), tail, f, func(applied uint64) {
+		rep.setLocalTail(t, applied)
+	})
+
+	// Apply the batch in log order, recording a descriptor per detectable
+	// operation. Results are buffered host-side and delivered only after
+	// persist-before-respond below.
+	if cap(rep.resScratch) < len(batch) {
+		rep.resScratch = make([]uint64, p.beta)
+	}
+	resBuf := rep.resScratch[:len(batch)]
+	for i, s := range batch {
+		so := rep.slotOff(s)
+		code, a0, a1 := p.log.ReadEntry(t, tail+uint64(i))
+		resBuf[i] = rep.ds.Execute(t, code, a0, a1)
+		if invid := rep.ctrl.Load(t, so+slotInvid); invid != 0 {
+			w := rep.node*int(p.beta) + s // slot owner's worker tid
+			off := p.desc.write(t, w, invid, tail+uint64(i), resBuf[i])
+			p.met.DescriptorWrites++
+			if durable {
+				f.FlushLine(t, p.desc.mem, off)
+				p.met.DescriptorFlushes++
+			}
+		}
+	}
+	if durable {
+		f.Fence(t) // entries, catch-up lines and descriptors all durable
+	}
+	for i := uint64(0); i < num; i++ {
+		p.log.SetFull(t, tail+i)
+		if durable {
+			f.FlushLine(t, p.log.Mem(), p.log.EntryOff(tail+i))
+		}
+	}
+	rep.setLocalTail(t, newTail)
+	if durable {
+		f.Fence(t)
+	}
+	for {
+		ct := p.log.CompletedTail(t)
+		if ct >= newTail {
+			break
+		}
+		if p.log.CASCompletedTail(t, ct, newTail) {
+			break
+		}
+	}
+	if durable {
+		p.log.PersistCompletedTail(t, f, newTail, !p.cfg.NoCTailElide)
+	}
+
+	var myRes uint64
+	for i, s := range batch {
+		so := rep.slotOff(s)
+		if s == mySlot {
+			myRes = resBuf[i]
+			rep.ctrl.Store(t, so+slotState, slotEmpty)
+		} else {
+			rep.ctrl.Store(t, so+slotResp, resBuf[i])
 			rep.ctrl.Store(t, so+slotState, slotDone)
 		}
 	}

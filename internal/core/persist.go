@@ -75,6 +75,16 @@ func (p *PREP) persistCycle(t *sim.Thread, f *nvm.Flusher, pr *pReplica) {
 		// Ablation: flush exactly the dirty lines (needs write tracking a
 		// black-box PUC does not have).
 		pr.heap.FlushAllDirty(t)
+		if p.desc != nil {
+			p.desc.mem.FlushAllDirty(t)
+		}
+	} else if p.desc != nil {
+		// The descriptor table rides the checkpoint: persisting it before
+		// the meta swap below means every operation at or below the stable
+		// tail this cycle establishes has a durable descriptor (buffered
+		// detectability costs no flushes on the operation path).
+		p.sys.WBINVD(t, pr.heap, p.desc.mem)
+		f.Fence(t)
 	} else {
 		p.sys.WBINVD(t, pr.heap)
 		f.Fence(t)

@@ -35,6 +35,17 @@ type RecoveryReport struct {
 	// replay; with the engine's flush protocol this is always 0 below
 	// completedTail and a non-zero value indicates a protocol violation.
 	Holes uint64
+	// Resolved is detectable execution's verdict map (nil unless
+	// Config.Detect): invocation id → result for every operation whose
+	// durable descriptor proves it committed and whose effect is in the
+	// recovered state. Absence is equally definite — the operation never
+	// applied, its effect is not in the recovered state, and the client may
+	// resubmit without risking a double apply.
+	Resolved map[uint64]uint64
+	// DescriptorsCarried counts resolved verdicts re-recorded in the new
+	// generation's descriptor table, so a crash during or immediately after
+	// this recovery re-resolves every invocation id to the same answer.
+	DescriptorsCarried uint64
 }
 
 // Recover rebuilds a PREP-UC instance from the NVM contents that survived a
@@ -123,6 +134,35 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*PREP, *Recovery
 			code, a0, a1 := l.PersistedReadEntry(idx)
 			rds.Execute(t, code, a0, a1)
 			rep.Replayed++
+		}
+	}
+
+	if srcCfg.Detect {
+		// Resolve every operation descriptor of the crashed generation
+		// against the recovery horizon: in Durable mode an operation is in
+		// the recovered state iff its log position precedes the persisted
+		// completedTail (the replay bound above); in Buffered mode iff it
+		// precedes the stable replica's checkpointed tail. Descriptors are
+		// one line each and the crash materializes per line, so a record is
+		// either wholly present or absent — and the engine's
+		// fence-before-full-mark order guarantees any operation whose effect
+		// survived has a present descriptor (DESIGN.md §11).
+		horizon := rep.StableLocalTail
+		if srcCfg.Mode == Durable {
+			horizon = rep.CompletedTail
+		}
+		resolved, byWorker := scanDescriptors(
+			recSys.Memory(srcCfg.memName("desc")), srcCfg.Workers, horizon)
+		rep.Resolved = resolved
+		// Carry the verdicts into the new generation's table (flags mark
+		// them committed unconditionally): a nested crash re-scans either
+		// the old generation (commit record not yet flipped) or these
+		// records, and resolves every invocation id identically.
+		for w, recs := range byWorker {
+			for _, r := range recs {
+				p.desc.carry(t, w, r[0], r[1])
+				rep.DescriptorsCarried++
+			}
 		}
 	}
 

@@ -11,18 +11,36 @@ package harness
 // The crash scenario freezes the whole machine at a fixed virtual instant
 // while the open-loop load is running, recovers the construction, rebuilds
 // the (volatile) service rings, and resumes injection where the pre-crash
-// completion prefix ended: operations that were in flight at the cut are
-// retried (at-least-once, as a real client with a dead connection would),
-// and arrivals that fell into the outage window are submitted immediately at
+// completion prefix ended. How the in-flight window (submitted but not
+// completed at the cut) resumes depends on the driver:
+//
+//   - detectable drivers (PREP with operation descriptors) query recovery's
+//     resolved map: an operation resolved as committed has its recorded
+//     result delivered at the resume instant and is never resubmitted —
+//     exactly-once; one resolved as never-applied is resubmitted, which the
+//     verdict proves cannot double-apply;
+//   - non-detectable drivers blindly retry the whole window (at-least-once,
+//     as a real client with a dead connection would).
+//
+// Arrivals that fell into the outage window are submitted immediately at
 // resume with their original arrival stamps, so the outage is fully charged
-// to their latencies. The report carries the recovery stall window and how
-// long the accumulated backlog took to drain.
+// to their latencies. The report carries the recovery stall window, how
+// long the accumulated backlog took to drain, and — for detectable drivers
+// — the resolution tallies plus a measured duplicates_applied count.
+//
+// With ServeConfig.Check the run is additionally verified for (buffered)
+// durable linearizability: one epoch per service generation, with the
+// crash-cut epoch's in-flight operations classified by recovery's verdicts
+// (InFlightCommitted / InFlightNever for detectable drivers, plain InFlight
+// otherwise) and the recovered state probed between the epochs.
 
 import (
 	"fmt"
 
 	"prepuc/internal/core"
 	"prepuc/internal/cxpuc"
+	"prepuc/internal/fault"
+	"prepuc/internal/linearize"
 	"prepuc/internal/numa"
 	"prepuc/internal/nvm"
 	"prepuc/internal/onll"
@@ -46,9 +64,28 @@ type ServeDriver struct {
 	// retire them. Either may be nil.
 	SpawnAux func()
 	StopAux  func(t *sim.Thread)
-	// Recover rebuilds the engine on a recovered system and reports how many
-	// log entries it replayed.
-	Recover func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error)
+	// Recover rebuilds the engine on a recovered system and reports what
+	// recovery found.
+	Recover func(t *sim.Thread, recSys *nvm.System) (uc.UC, RecoverInfo, error)
+	// Detect marks a driver whose engine records operation descriptors: the
+	// service stamps invocation ids and the crash resume deduplicates the
+	// in-flight window against RecoverInfo.Resolved.
+	Detect bool
+	// Buffered marks a driver whose recovered state may lose a completed
+	// suffix (PREP-Buffered); Epsilon is its checkpoint interval, from which
+	// the linearize check's loss allowance is derived.
+	Buffered bool
+	Epsilon  uint64
+}
+
+// RecoverInfo is what ServeDriver.Recover reports back to the harness.
+type RecoverInfo struct {
+	// Replayed is the number of log entries recovery re-applied.
+	Replayed uint64
+	// Resolved maps invocation id → result for every in-flight operation
+	// recovery proved committed (nil for non-detectable drivers). An id
+	// absent from the map definitely never applied.
+	Resolved map[uint64]uint64
 }
 
 // ServeConfig parameterizes one service run.
@@ -71,6 +108,17 @@ type ServeConfig struct {
 	CrashAtNS uint64
 	// Seed derives every scheduler seed of the run.
 	Seed int64
+	// Policy is the crash-time fault-adversary spec (internal/fault syntax:
+	// "", "persistall", "dropall", "coinflip[=p]", "targeted[=n]"). It
+	// decides the fate of flushed-but-unfenced lines at the crash cut.
+	Policy string
+	// Check verifies the run against the set's sequential specification
+	// (the serve workload is always the hashmap): per-service-generation
+	// linearize epochs with probed boundary states, in-flight operations
+	// classified by the driver's recovery verdicts. The result lands in
+	// ServeResult.Check; probing perturbs virtual timings, so checked and
+	// unchecked runs are not figure-comparable.
+	Check bool
 }
 
 // LatencyNS summarizes a latency histogram in virtual nanoseconds.
@@ -101,13 +149,47 @@ type CrashStats struct {
 	// StallNS is the client-visible outage: first post-crash completion
 	// minus the crash instant.
 	StallNS uint64 `json:"stall_ns"`
-	// LostInflight counts operations submitted but not completed at the cut
-	// (retried after recovery).
+	// LostInflight counts operations submitted but not completed at the cut.
 	LostInflight uint64 `json:"lost_inflight"`
 	// BacklogAtResume counts arrivals that piled up before service resumed;
 	// BacklogDrainNS is how long past resume the last of them completed.
 	BacklogAtResume uint64 `json:"backlog_at_resume"`
 	BacklogDrainNS  uint64 `json:"backlog_drain_ns"`
+	// Detectable reports whether the driver resolved its in-flight window
+	// through operation descriptors. When true, InFlightResolved counts
+	// in-flight operations recovery answered definitely — committed or
+	// never-applied; for a detectable driver that is the whole window.
+	// ResolvedCompleted counts the committed ones, whose recorded results
+	// were delivered at resume without resubmission (each is a completion
+	// and a dedup hit).
+	Detectable        bool   `json:"detectable"`
+	InFlightResolved  uint64 `json:"in_flight_resolved"`
+	ResolvedCompleted uint64 `json:"resolved_completed"`
+	// DuplicatesApplied measures, over the operations the resume actually
+	// resubmitted, how many recovery had proved committed — each would be a
+	// double apply. Exactly-once resume keeps this at zero; the field is
+	// omitted (nil) for non-detectable drivers, whose blind retry has no
+	// verdicts to count against.
+	DuplicatesApplied *uint64 `json:"duplicates_applied,omitempty"`
+}
+
+// CheckStats is the linearize verdict of a checked run.
+type CheckStats struct {
+	Mode string `json:"mode"`
+	OK   bool   `json:"ok"`
+	// Epochs is the number of linearize epochs checked (one per service
+	// generation); Ops the total recorded operations across them; Lost the
+	// completed operations the buffered allowance had to absorb.
+	Epochs int `json:"epochs"`
+	Ops    int `json:"ops"`
+	Lost   int `json:"lost"`
+	// InFlightCommitted / InFlightNever count the crash-cut operations
+	// checked under each resolved classification.
+	InFlightCommitted uint64 `json:"in_flight_committed"`
+	InFlightNever     uint64 `json:"in_flight_never"`
+	FailedEpoch       int    `json:"failed_epoch"`
+	FailedPartition   string `json:"failed_partition,omitempty"`
+	Reason            string `json:"reason,omitempty"`
 }
 
 // ServeResult is one system's record in the prepuc-serve document.
@@ -119,6 +201,7 @@ type ServeResult struct {
 	Latency   LatencyNS   `json:"latency_ns"`
 	Ring      RingStats   `json:"ring"`
 	Crash     *CrashStats `json:"crash,omitempty"`
+	Check     *CheckStats `json:"check,omitempty"`
 }
 
 // serveTopo sizes the machine: consumers occupy worker slots, so the
@@ -144,13 +227,27 @@ type tally struct {
 	resumeNS   uint64
 	firstB     uint64 // first post-crash completion instant (0 = none yet)
 	backlogMax uint64 // latest completion of a pre-resume arrival
+
+	// Completion records per shard, kept only when the linearize check is
+	// on (nil otherwise). Per-shard completion order equals submission
+	// order equals arrival order, so index k zips with the k-th operation
+	// of the shard's (phase-specific) arrival slice.
+	recA, recB [][]compRec
 }
+
+// compRec is one completion's check-relevant fields. exec is the drain
+// instant: the linearize check uses [exec, done] as the operation's window —
+// sound (execution starts after the drain) and far tighter than the arrival
+// window, which under backlog would make thousands of operations look
+// mutually concurrent and blow up the search.
+type compRec struct{ result, exec, done uint64 }
 
 func (ta *tally) onComplete(shard int, f *svc.Future) {
 	ta.hist.Record(f.DoneNS - f.ArrivalNS)
 	if f.DoneNS > ta.endNS {
 		ta.endNS = f.DoneNS
 	}
+	rec := ta.recA
 	if ta.phaseB {
 		if ta.firstB == 0 {
 			ta.firstB = f.DoneNS
@@ -158,6 +255,26 @@ func (ta *tally) onComplete(shard int, f *svc.Future) {
 		if f.ArrivalNS < ta.resumeNS && f.DoneNS > ta.backlogMax {
 			ta.backlogMax = f.DoneNS
 		}
+		rec = ta.recB
+	}
+	if rec != nil {
+		rec[shard] = append(rec[shard], compRec{f.Result, f.ExecNS, f.DoneNS})
+	}
+}
+
+// resolvedDelivery accounts one descriptor-resolved in-flight operation
+// whose pre-crash result is handed back at the resume instant: it completes
+// (latency charged from arrival to resume) without ever being resubmitted.
+func (ta *tally) resolvedDelivery(doneNS, arrivalNS uint64) {
+	ta.hist.Record(doneNS - arrivalNS)
+	if doneNS > ta.endNS {
+		ta.endNS = doneNS
+	}
+	if ta.firstB == 0 {
+		ta.firstB = doneNS
+	}
+	if arrivalNS < ta.resumeNS && doneNS > ta.backlogMax {
+		ta.backlogMax = doneNS
 	}
 }
 
@@ -220,23 +337,35 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	}
 	tp := serveTopo(cfg.Shards)
 	ta := &tally{}
+	if cfg.Check {
+		ta.recA = make([][]compRec, cfg.Shards)
+		ta.recB = make([][]compRec, cfg.Shards)
+	}
+	pol, err := fault.Parse(cfg.Policy, uint64(cfg.Seed)+11)
+	if err != nil {
+		return nil, err
+	}
 
 	// Boot: construction plus generation-0 service rings.
 	bootSch := sim.New(cfg.Seed)
 	sys := nvm.NewSystem(bootSch, nvm.Config{
 		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(cfg.Seed) + 7,
 	})
+	if pol != nil {
+		sys.SetFaultPolicy(pol)
+	}
 	var s *svc.Service
+	var engA uc.UC
 	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) {
-		var engine uc.UC
-		if engine, err = d.Boot(t, sys); err != nil {
+		if engA, err = d.Boot(t, sys); err != nil {
 			return
 		}
 		s, err = svc.New(t, sys, svc.Config{
-			Engine: engine, Topology: tp, Shards: cfg.Shards,
+			Engine: engA, Topology: tp, Shards: cfg.Shards,
 			RingSize: cfg.RingSize, MaxBatch: cfg.MaxBatch,
 			NamePrefix: "svc0", Batched: cfg.Batched,
 			OnComplete: ta.onComplete,
+			Detect:     d.Detect, InvidEpoch: 0,
 		})
 	})
 	bootSch.Run()
@@ -264,20 +393,27 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 		if cfg.CrashAtNS > 0 {
 			return nil, fmt.Errorf("serve: %s: crash at %d ns never fired (load drained first)", d.Name, cfg.CrashAtNS)
 		}
-		finish(res, cfg.Shards, s, nil, sys, ta)
+		finish(res, cfg.Shards, s, nil, sys, ta, 0)
+		if cfg.Check {
+			res.Check = steadyCheck(d, cfg, sys, engA, perShard, ta)
+		}
 		return res, nil
 	}
 
 	// Crash cut: read the generation-0 tallies. Completion order equals
 	// submission order per shard, so each shard's completed count is the
 	// resume index into its arrival list; everything submitted beyond it was
-	// in flight and is retried.
-	crash := &CrashStats{CrashAtNS: cfg.CrashAtNS}
+	// in flight at the cut.
+	crash := &CrashStats{CrashAtNS: cfg.CrashAtNS, Detectable: d.Detect}
 	resume := make([]int, cfg.Shards)
+	submitted := make([]int, cfg.Shards)
+	drained := make([]int, cfg.Shards)
 	for shard := 0; shard < cfg.Shards; shard++ {
 		c := s.Client(shard)
 		crash.LostInflight += c.Submitted() - c.Completed()
 		resume[shard] = int(c.Completed())
+		submitted[shard] = int(c.Submitted())
+		drained[shard] = int(c.Drained())
 	}
 
 	// Recover the construction and rebuild the service (the rings are
@@ -286,23 +422,26 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	// harness honest about re-entrancy).
 	cur := sys
 	var s2 *svc.Service
+	var engB uc.UC
+	var info RecoverInfo
 	var resumeDelta uint64
 	for attempt := 0; ; attempt++ {
 		recSch := sim.New(cfg.Seed + 3 + int64(attempt)*17)
 		cur = cur.Recover(recSch)
 		recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
 			start := t.Clock()
-			var engine uc.UC
-			engine, crash.Replayed, err = d.Recover(t, cur)
+			engB, info, err = d.Recover(t, cur)
+			crash.Replayed = info.Replayed
 			crash.RecoveryVirtualNS = t.Clock() - start
 			if err != nil {
 				return
 			}
 			s2, err = svc.New(t, cur, svc.Config{
-				Engine: engine, Topology: tp, Shards: cfg.Shards,
+				Engine: engB, Topology: tp, Shards: cfg.Shards,
 				RingSize: cfg.RingSize, MaxBatch: cfg.MaxBatch,
 				NamePrefix: "svc1", Batched: cfg.Batched,
 				OnComplete: ta.onComplete,
+				Detect:     d.Detect, InvidEpoch: 1,
 			})
 			resumeDelta = t.Clock()
 		})
@@ -317,12 +456,65 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	}
 	resumeNS := cfg.CrashAtNS + resumeDelta
 	ta.phaseB, ta.resumeNS = true, resumeNS
+
+	// Resume plan: for a detectable driver the in-flight window splits by
+	// recovery's verdicts — resolved-committed operations complete right
+	// here with their recorded results (exactly-once), everything else is
+	// resubmitted; a non-detectable driver resubmits the whole window.
+	// resubSeq keeps each resubmitted window operation's original submission
+	// sequence number so the duplicate audit below can re-check the final
+	// plan against the verdict map independently of how it was built.
+	phaseB := make([][]openloop.Arrival, cfg.Shards)
+	resubSeq := make([][]int, cfg.Shards)
 	for shard := 0; shard < cfg.Shards; shard++ {
-		for _, a := range perShard[shard][resume[shard]:] {
+		all := perShard[shard]
+		win := all[resume[shard]:submitted[shard]]
+		if !d.Detect {
+			phaseB[shard] = all[resume[shard]:]
+			continue
+		}
+		crash.InFlightResolved += uint64(len(win))
+		lst := make([]openloop.Arrival, 0, len(all)-resume[shard])
+		for k, a := range win {
+			seq := resume[shard] + k
+			if _, committed := info.Resolved[svc.InvocationID(0, shard, uint64(seq))]; committed {
+				crash.ResolvedCompleted++
+				ta.resolvedDelivery(resumeNS, a.At)
+				continue
+			}
+			lst = append(lst, a)
+			resubSeq[shard] = append(resubSeq[shard], seq)
+		}
+		phaseB[shard] = append(lst, all[submitted[shard]:]...)
+	}
+	if d.Detect {
+		// Audit the plan: a resubmission recovery proved committed would be
+		// a double apply. This re-derives the verdict per planned entry, so
+		// a dedup regression shows up here as a nonzero count.
+		dup := uint64(0)
+		for shard, seqs := range resubSeq {
+			for _, seq := range seqs {
+				if _, committed := info.Resolved[svc.InvocationID(0, shard, uint64(seq))]; committed {
+					dup++
+				}
+			}
+		}
+		crash.DuplicatesApplied = &dup
+		cur.Metrics().DedupHits += crash.ResolvedCompleted
+	}
+	for shard := 0; shard < cfg.Shards; shard++ {
+		for _, a := range phaseB[shard] {
 			if a.At < resumeNS {
 				crash.BacklogAtResume++
 			}
 		}
+	}
+
+	// The linearize check needs the recovered state before phase B mutates
+	// it: probe it key by key on a throwaway timeline.
+	var recState map[uint64]uint64
+	if cfg.Check {
+		recState = probeServeState(cur, engB, cfg.Open.Keys, cfg.Seed+901)
 	}
 
 	// Phase B: resume the load on the recovered machine. Every thread starts
@@ -333,7 +525,7 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	if d.SpawnAux != nil {
 		d.SpawnAux()
 	}
-	spawnServicePhase(schB, tp, s2, d, cfg, perShard, resume, resumeNS)
+	spawnServicePhase(schB, tp, s2, d, cfg, phaseB, make([]int, cfg.Shards), resumeNS)
 	schB.Run()
 	if schB.Frozen() {
 		return nil, fmt.Errorf("serve: %s: phase B froze unexpectedly", d.Name)
@@ -345,8 +537,11 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	if ta.backlogMax > resumeNS {
 		crash.BacklogDrainNS = ta.backlogMax - resumeNS
 	}
-	finish(res, cfg.Shards, s, s2, cur, ta)
+	finish(res, cfg.Shards, s, s2, cur, ta, crash.ResolvedCompleted)
 	res.Crash = crash
+	if cfg.Check {
+		res.Check = crashCheck(d, cfg, cur, engB, perShard, phaseB, resume, submitted, drained, info, recState, ta)
+	}
 	return res, nil
 }
 
@@ -379,8 +574,10 @@ func spawnServicePhase(sch *sim.Scheduler, tp numa.Topology, s *svc.Service,
 }
 
 // finish fills the throughput, latency and ring blocks from the run's
-// tallies. s2 is the post-crash service generation (nil on steady runs).
-func finish(res *ServeResult, shards int, s, s2 *svc.Service, sys *nvm.System, ta *tally) {
+// tallies. s2 is the post-crash service generation (nil on steady runs);
+// resolved counts descriptor-resolved deliveries, completions that passed
+// through neither generation's ring.
+func finish(res *ServeResult, shards int, s, s2 *svc.Service, sys *nvm.System, ta *tally, resolved uint64) {
 	for shard := 0; shard < shards; shard++ {
 		c := s.Client(shard)
 		res.Submitted += c.Submitted()
@@ -391,6 +588,7 @@ func finish(res *ServeResult, shards int, s, s2 *svc.Service, sys *nvm.System, t
 			res.Completed += c2.Completed()
 		}
 	}
+	res.Completed += resolved
 	if ta.endNS > 0 {
 		res.OpsPerSec = float64(res.Completed) * 1e9 / float64(ta.endNS)
 	}
@@ -413,6 +611,142 @@ func finish(res *ServeResult, shards int, s, s2 *svc.Service, sys *nvm.System, t
 	}
 }
 
+// probeServeState reads the hashmap's live state through one Get per key on
+// a throwaway timeline — the serve harness's recovered/final state
+// observation for the linearize check.
+func probeServeState(sys *nvm.System, eng uc.UC, keys uint64, seed int64) map[uint64]uint64 {
+	state := map[uint64]uint64{}
+	sch := sim.New(seed)
+	sys.SetScheduler(sch)
+	sch.Spawn("probe", 0, 0, func(t *sim.Thread) {
+		for k := uint64(0); k < keys; k++ {
+			if v := eng.Execute(t, 0, uc.Get(k)); v != uc.NotFound {
+				state[k] = v
+			}
+		}
+	})
+	sch.Run()
+	return state
+}
+
+// serveOptions is the crash-cut epoch's correctness condition: buffered
+// durable with the driver's loss allowance, or strict durable. The bound is
+// ε plus one full batch per consumer minus one — each of the Shards
+// consumers can hold one combiner session of up to MaxBatch completed
+// operations past the last checkpoint.
+func serveOptions(d *ServeDriver, cfg ServeConfig) linearize.Options {
+	if !d.Buffered {
+		return linearize.Options{}
+	}
+	return linearize.Options{
+		Buffered:  true,
+		Allowance: int(d.Epsilon) + cfg.Shards*cfg.MaxBatch - 1,
+	}
+}
+
+// completedOps zips one shard's completion records with its arrival slice:
+// per-shard completion order equals arrival order, so record k's operation
+// is arr[k]. The window is [drain, done], not [arrival, done]: execution
+// cannot start before the consumer drains the batch, so the tighter stamp is
+// sound, and it keeps the check's concurrency at the real consumer count
+// instead of the queue depth.
+func completedOps(shard int, arr []openloop.Arrival, recs []compRec) []linearize.Op {
+	ops := make([]linearize.Op, 0, len(recs))
+	for k, r := range recs {
+		a := arr[k]
+		ops = append(ops, linearize.Op{
+			Client: shard, Code: a.Op.Code, A0: a.Op.A0, A1: a.Op.A1,
+			Result: r.result, Invoke: r.exec, Return: r.done,
+			Class: linearize.Completed,
+		})
+	}
+	return ops
+}
+
+// applyCheck folds one epoch's linearize result into the run's verdict.
+func applyCheck(cb *CheckStats, epoch int, r linearize.Result) {
+	cb.Ops += r.Ops
+	cb.Lost += r.Lost
+	if cb.OK && !r.OK {
+		cb.OK = false
+		cb.FailedEpoch = epoch
+		cb.FailedPartition = r.FailedPartition
+		cb.Reason = r.Reason
+	}
+}
+
+// steadyCheck verifies a crash-free run: one epoch of completed operations
+// against the engine's final probed state. The live probe sees every
+// completed effect, so the condition is strict even for buffered drivers.
+func steadyCheck(d *ServeDriver, cfg ServeConfig, sys *nvm.System, eng uc.UC,
+	perShard [][]openloop.Arrival, ta *tally) *CheckStats {
+	cb := &CheckStats{Mode: "linearize", OK: true, Epochs: 1, FailedEpoch: -1}
+	var ops []linearize.Op
+	for shard := range perShard {
+		ops = append(ops, completedOps(shard, perShard[shard], ta.recA[shard])...)
+	}
+	final := probeServeState(sys, eng, cfg.Open.Keys, cfg.Seed+903)
+	applyCheck(cb, 0, linearize.CheckEpoch(linearize.SetModel(), nil, ops, final, linearize.Options{}))
+	return cb
+}
+
+// crashCheck verifies a crash run as two epochs. Epoch 0 is the pre-crash
+// generation: its completed prefix plus the in-flight window, the latter
+// classified by the driver's recovery verdicts — resolved-committed
+// operations must linearize with the resolved result and cannot be lost,
+// resolved-never-applied ones must not take effect — against the probed
+// recovered state. A non-detectable driver's window splits on the drained
+// cursor instead: operations the consumer never drained provably never
+// reached the engine (InFlightNever for any driver), only the drained tail
+// stays genuinely unknown (at-most-once InFlight). Epoch 1 is the resumed
+// generation from that state to the final probe; a duplicate apply slipping
+// through the resume plan shows up there as an inexplicable response or
+// state.
+func crashCheck(d *ServeDriver, cfg ServeConfig, cur *nvm.System, eng uc.UC,
+	perShard, phaseB [][]openloop.Arrival, resume, submitted, drained []int,
+	info RecoverInfo, recState map[uint64]uint64, ta *tally) *CheckStats {
+	cb := &CheckStats{Mode: "linearize", OK: true, Epochs: 2, FailedEpoch: -1}
+	var epoch1 []linearize.Op
+	for shard := range perShard {
+		epoch1 = append(epoch1, completedOps(shard, perShard[shard], ta.recA[shard])...)
+		for k, a := range perShard[shard][resume[shard]:submitted[shard]] {
+			seq := resume[shard] + k
+			op := linearize.Op{
+				Client: shard, Code: a.Op.Code, A0: a.Op.A0, A1: a.Op.A1,
+				Invoke: a.At, Return: ^uint64(0), Class: linearize.InFlight,
+			}
+			switch {
+			case d.Detect:
+				if r, ok := info.Resolved[svc.InvocationID(0, shard, uint64(seq))]; ok {
+					op.Class, op.Result = linearize.InFlightCommitted, r
+					cb.InFlightCommitted++
+				} else {
+					op.Class = linearize.InFlightNever
+					cb.InFlightNever++
+				}
+			case seq >= drained[shard]:
+				// Still queued in the (volatile) ring at the cut: the engine
+				// never saw it, so its effect cannot be in the recovered state.
+				op.Class = linearize.InFlightNever
+			}
+			epoch1 = append(epoch1, op)
+		}
+	}
+	applyCheck(cb, 0, linearize.CheckEpoch(linearize.SetModel(), nil, epoch1, recState, serveOptions(d, cfg)))
+
+	var epoch2 []linearize.Op
+	for shard := range phaseB {
+		epoch2 = append(epoch2, completedOps(shard, phaseB[shard], ta.recB[shard])...)
+	}
+	final := probeServeState(cur, eng, cfg.Open.Keys, cfg.Seed+903)
+	init2 := make(map[uint64]uint64, len(recState))
+	for k, v := range recState {
+		init2[k] = v
+	}
+	applyCheck(cb, 1, linearize.CheckEpoch(linearize.SetModel(), init2, epoch2, final, linearize.Options{}))
+	return cb
+}
+
 // ServeDrivers builds the five recoverable-construction drivers at the
 // given shard count (= engine worker count). Configurations mirror
 // cmd/crashtest's so the serve and crash harnesses measure the same
@@ -429,15 +763,21 @@ func ServeDrivers(shards int, epsilon uint64) []*ServeDriver {
 }
 
 // prepServeDriver wires PREP-UC: the only driver with auxiliary threads
-// (the persistence loop) and the only engine implementing svc.Batcher, so
-// it is where the batched submission path engages.
+// (the persistence loop), the only engine implementing svc.Batcher — so it
+// is where the batched submission path engages — and the only detectable
+// one: operation descriptors are on, so the crash resume gets exactly-once
+// semantics from recovery's resolved map.
 func prepServeDriver(name string, mode core.Mode, shards int, epsilon uint64, obj uc.ObjectType) *ServeDriver {
 	cfg := core.Config{
 		Mode: mode, Topology: serveTopo(shards), Workers: shards,
 		LogSize: 4096, Epsilon: epsilon,
 		Factory: obj.New, Attacher: obj.Attach, HeapWords: 1 << 21,
+		Detect: true,
 	}
-	d := &ServeDriver{Name: name}
+	d := &ServeDriver{
+		Name: name, Detect: true,
+		Buffered: mode == core.Buffered, Epsilon: epsilon,
+	}
 	var cur *core.PREP
 	d.SpawnAux = func() { cur.SpawnPersistence(0) }
 	d.StopAux = func(t *sim.Thread) { cur.StopPersistence(t) }
@@ -449,13 +789,13 @@ func prepServeDriver(name string, mode core.Mode, shards int, epsilon uint64, ob
 		cur = p
 		return p, nil
 	}
-	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, RecoverInfo, error) {
 		rec, report, err := core.Recover(t, recSys, cfg)
 		if err != nil {
-			return nil, 0, err
+			return nil, RecoverInfo{}, err
 		}
 		cur = rec
-		return rec, report.Replayed, nil
+		return rec, RecoverInfo{Replayed: report.Replayed, Resolved: report.Resolved}, nil
 	}
 	return d
 }
@@ -469,9 +809,9 @@ func cxServeDriver(shards int, obj uc.ObjectType) *ServeDriver {
 	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
 		return cxpuc.New(t, sys, cfg)
 	}
-	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, RecoverInfo, error) {
 		rec, err := cxpuc.Recover(t, recSys, cfg)
-		return rec, 0, err
+		return rec, RecoverInfo{}, err
 	}
 	return d
 }
@@ -482,9 +822,9 @@ func softServeDriver() *ServeDriver {
 	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
 		return soft.New(t, sys, cfg), nil
 	}
-	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, RecoverInfo, error) {
 		rec, replayed, err := soft.Recover(t, recSys, cfg)
-		return rec, replayed, err
+		return rec, RecoverInfo{Replayed: replayed}, err
 	}
 	return d
 }
@@ -498,9 +838,9 @@ func onllServeDriver(shards int, obj uc.ObjectType) *ServeDriver {
 	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
 		return onll.New(t, sys, cfg)
 	}
-	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, uint64, error) {
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, RecoverInfo, error) {
 		rec, replayed, err := onll.Recover(t, recSys, cfg)
-		return rec, replayed, err
+		return rec, RecoverInfo{Replayed: replayed}, err
 	}
 	return d
 }

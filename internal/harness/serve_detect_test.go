@@ -1,0 +1,182 @@
+package harness
+
+// Tests for the detectable crash resume: the PREP drivers run with
+// operation descriptors, so RunServe's recovery must resolve the whole
+// in-flight window, deliver committed results without resubmitting, and
+// never double-apply — across fault adversaries, and verified end to end by
+// the strengthened linearize check.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"prepuc/internal/openloop"
+)
+
+// detectConfig is serveTestConfig with a higher-pressure crash instant so
+// the in-flight window is routinely nonempty.
+func detectConfig(crashAt uint64, policy string, check bool) ServeConfig {
+	cfg := serveTestConfig(crashAt)
+	cfg.Policy = policy
+	cfg.Check = check
+	return cfg
+}
+
+// TestRunServeDetectableExactlyOnce: with descriptors on, every arrival
+// completes exactly once — the schedule total — and the resume plan
+// resubmits nothing recovery proved committed.
+func TestRunServeDetectableExactlyOnce(t *testing.T) {
+	drivers := ServeDrivers(2, 64)
+	for _, d := range drivers[:2] { // PREP-Durable, PREP-Buffered
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			cfg := detectConfig(200_000, "", false)
+			arrivals, err := openloop.Generate(cfg.Open)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunServe(d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := res.Crash
+			if !c.Detectable {
+				t.Fatal("PREP driver not marked detectable")
+			}
+			if c.InFlightResolved != c.LostInflight {
+				t.Errorf("resolved %d of %d in-flight operations; detectability must answer all",
+					c.InFlightResolved, c.LostInflight)
+			}
+			if c.DuplicatesApplied == nil {
+				t.Fatal("detectable driver reported no duplicates_applied")
+			}
+			if *c.DuplicatesApplied != 0 {
+				t.Errorf("duplicates_applied = %d, want 0", *c.DuplicatesApplied)
+			}
+			if c.ResolvedCompleted > c.InFlightResolved {
+				t.Errorf("resolved_completed %d exceeds in_flight_resolved %d",
+					c.ResolvedCompleted, c.InFlightResolved)
+			}
+			// Exactly-once conservation: every scheduled arrival completes
+			// once — through a ring or through a resolved delivery.
+			if res.Completed != uint64(len(arrivals)) {
+				t.Errorf("completed %d, want exactly the %d scheduled arrivals",
+					res.Completed, len(arrivals))
+			}
+			if res.Submitted+c.ResolvedCompleted != uint64(len(arrivals)) {
+				t.Errorf("submitted %d + resolved %d ≠ schedule %d",
+					res.Submitted, c.ResolvedCompleted, len(arrivals))
+			}
+		})
+	}
+}
+
+// TestRunServeCrashCheckAllSystems: the two-epoch linearize check passes for
+// every driver under the fault adversaries — the PREP drivers with their
+// in-flight windows classified by descriptor verdicts, the others under
+// plain at-most-once InFlight semantics.
+func TestRunServeCrashCheckAllSystems(t *testing.T) {
+	for _, policy := range []string{"", "coinflip", "targeted"} {
+		for _, d := range ServeDrivers(2, 64) {
+			d, policy := d, policy
+			t.Run(d.Name+"/"+orDefault(policy), func(t *testing.T) {
+				res, err := RunServe(d, detectConfig(200_000, policy, true))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb := res.Check
+				if cb == nil {
+					t.Fatal("check requested but no check block")
+				}
+				if !cb.OK {
+					t.Fatalf("linearize check failed: epoch %d, %s: %s",
+						cb.FailedEpoch, cb.FailedPartition, cb.Reason)
+				}
+				if cb.Epochs != 2 || cb.Ops == 0 {
+					t.Errorf("implausible check block: %+v", cb)
+				}
+				if d.Detect && res.Crash.InFlightResolved !=
+					cb.InFlightCommitted+cb.InFlightNever {
+					t.Errorf("classified %d+%d in-flight ops, resolved %d",
+						cb.InFlightCommitted, cb.InFlightNever, res.Crash.InFlightResolved)
+				}
+			})
+		}
+	}
+}
+
+func orDefault(policy string) string {
+	if policy == "" {
+		return "default"
+	}
+	return policy
+}
+
+// TestRunServeSteadyCheck: the crash-free checked run is a single strict
+// epoch and passes for every driver.
+func TestRunServeSteadyCheck(t *testing.T) {
+	for _, d := range ServeDrivers(2, 64) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			res, err := RunServe(d, detectConfig(0, "", true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb := res.Check
+			if cb == nil || !cb.OK || cb.Epochs != 1 {
+				t.Fatalf("steady check: %+v", cb)
+			}
+			if cb.InFlightCommitted != 0 || cb.InFlightNever != 0 {
+				t.Errorf("steady run classified in-flight ops: %+v", cb)
+			}
+		})
+	}
+}
+
+// TestRunServeCrashDeterministic: the crash scenario — including recovery,
+// descriptor resolution, the resume plan and the check — is a pure function
+// of the config.
+func TestRunServeCrashDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := RunServe(ServeDrivers(2, 64)[0], detectConfig(200_000, "coinflip", true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _ := json.Marshal(res)
+		return string(j)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same config, different results:\n%s\n%s", a, b)
+	}
+}
+
+// TestRunServeCrashStride sweeps the crash instant at a fine stride across
+// the load's ramp so the cut lands at many distinct machine states — mid
+// batch, mid combiner session, mid persistence cycle — and asserts the
+// exactly-once invariants at every offset.
+func TestRunServeCrashStride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stride sweep is slow")
+	}
+	for _, d := range ServeDrivers(2, 64)[:2] {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			for crashAt := uint64(120_000); crashAt <= 240_000; crashAt += 7_001 {
+				res, err := RunServe(d, detectConfig(crashAt, "coinflip", true))
+				if err != nil {
+					t.Fatalf("crash@%d: %v", crashAt, err)
+				}
+				c := res.Crash
+				if c.InFlightResolved != c.LostInflight {
+					t.Errorf("crash@%d: resolved %d of %d", crashAt, c.InFlightResolved, c.LostInflight)
+				}
+				if c.DuplicatesApplied == nil || *c.DuplicatesApplied != 0 {
+					t.Errorf("crash@%d: duplicates %v", crashAt, c.DuplicatesApplied)
+				}
+				if !res.Check.OK {
+					t.Errorf("crash@%d: check failed: %s", crashAt, res.Check.Reason)
+				}
+			}
+		})
+	}
+}

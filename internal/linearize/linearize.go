@@ -7,6 +7,12 @@
 //     (Completed) must take effect exactly once;
 //   - an operation that was invoked but cut off by the crash (InFlight) may
 //     take effect at most once — it either linearizes or vanishes;
+//   - an in-flight operation recovery resolved via detectable execution has
+//     a definite, queryable answer the post-crash state must corroborate:
+//     resolved-committed (InFlightCommitted) operations must linearize with
+//     exactly the resolved result and never fall into a buffered lost
+//     suffix; resolved-never-applied (InFlightNever) operations must not
+//     take effect at all;
 //   - the recovered state must be the state of a legal linearization
 //     (durable), or of a prefix of one with at most Allowance completed
 //     operations lost to the crash (buffered durable, PREP-Buffered's
@@ -43,6 +49,18 @@ const (
 	// InFlight operations were invoked but never returned (the crash
 	// unwound them). They may take effect at most once, with any result.
 	InFlight
+	// InFlightCommitted operations were cut off by the crash, but recovery
+	// resolved them as committed with a definite result (detectable
+	// execution's operation descriptors). They must take effect exactly
+	// once, with exactly that result — and because the descriptor protocol
+	// resolves only operations whose effect is inside the recovered state,
+	// they can never fall after a buffered crash cut.
+	InFlightCommitted
+	// InFlightNever operations were cut off by the crash and recovery
+	// resolved them as never applied. They must not take effect: a
+	// recovered state explicable only by such an operation's effect is a
+	// detectability violation (the client was told "safe to resubmit").
+	InFlightNever
 )
 
 // Op is one recorded operation.
@@ -52,7 +70,9 @@ type Op struct {
 	Client int
 	// Code, A0, A1 encode the operation as in uc.Op.
 	Code, A0, A1 uint64
-	// Result is the observed response (meaningful only when Completed).
+	// Result is the observed response (meaningful only when Completed or
+	// InFlightCommitted — for the latter it is the result recovery's
+	// descriptor scan reported).
 	Result uint64
 	// Invoke and Return are virtual-clock timestamps. Return is ignored
 	// for InFlight operations (they never returned).
@@ -239,21 +259,35 @@ type search struct {
 }
 
 func newSearch(p *Problem, buffered bool, budget int) *search {
-	n := len(p.Ops)
+	n := 0
+	for i := range p.Ops {
+		// InFlightNever operations are excluded from the working list: they
+		// must not linearize, and — having never returned — they cannot
+		// block any other operation either. If the recovered state needs
+		// their effect, no linearization of the remaining operations reaches
+		// it and the search fails, which is exactly the violation.
+		if p.Ops[i].Class != InFlightNever {
+			n++
+		}
+	}
 	entries := make([]entry, n)
-	order := make([]*entry, n)
+	order := make([]*entry, 0, n)
 	for i := range p.Ops {
 		op := &p.Ops[i]
+		if op.Class == InFlightNever {
+			continue
+		}
 		ret := op.Return
-		if op.Class == InFlight {
+		if op.Class != Completed {
 			ret = ^uint64(0) // never returned: blocks nothing
 		}
 		rank := 0
 		if p.Rank != nil {
 			rank = p.Rank(op)
 		}
-		entries[i] = entry{op: op, idx: i, ret: ret, rank: rank}
-		order[i] = &entries[i]
+		idx := len(order)
+		entries[idx] = entry{op: op, idx: idx, ret: ret, rank: rank}
+		order = append(order, &entries[idx])
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		if order[a].op.Invoke != order[b].op.Invoke {
@@ -276,9 +310,12 @@ func newSearch(p *Problem, buffered bool, budget int) *search {
 }
 
 func (s *search) run() bool {
+	// Obligations: operations that must linearize. Completed ones observed
+	// their response; InFlightCommitted ones have a recovery-issued verdict
+	// the post-crash state must corroborate.
 	completed := 0
 	for i := range s.p.Ops {
-		if s.p.Ops[i].Class == Completed {
+		if c := s.p.Ops[i].Class; c == Completed || c == InFlightCommitted {
 			completed++
 		}
 	}
@@ -339,6 +376,12 @@ func (s *search) dfs(state any, cutTaken bool, lost int, completedLeft int) bool
 		}
 	}
 	for _, e := range cands {
+		if cutTaken && e.op.Class == InFlightCommitted {
+			// A resolved-committed operation's effect is inside the
+			// recovered state by construction; it cannot land in the lost
+			// suffix after the crash cut.
+			continue
+		}
 		s2, res := s.p.Step(state, e.op.Code, e.op.A0, e.op.A1)
 		legal := e.op.Class == InFlight || res == e.op.Result
 		if legal {
@@ -348,7 +391,7 @@ func (s *search) dfs(state any, cutTaken bool, lost int, completedLeft int) bool
 			}
 			if !cutTaken || lost2 <= s.budget {
 				left2 := completedLeft
-				if e.op.Class == Completed {
+				if c := e.op.Class; c == Completed || c == InFlightCommitted {
 					left2--
 				}
 				e.prev.next = e.next

@@ -334,7 +334,8 @@ func (m pairsModel) Partition(ops []Op, init, recovered any, hasRecovered bool) 
 func fifoRank(ops []Op, recovered any, hasRecovered bool) func(op *Op) int {
 	deqs := make([]Op, 0, len(ops))
 	for _, op := range ops {
-		if op.Code == uc.OpDequeue && op.Class == Completed && op.Result != uc.NotFound {
+		if op.Code == uc.OpDequeue && op.Result != uc.NotFound &&
+			(op.Class == Completed || op.Class == InFlightCommitted) {
 			deqs = append(deqs, op)
 		}
 	}

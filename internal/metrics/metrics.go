@@ -107,6 +107,18 @@ type Counters struct {
 	RingFullStalls uint64 `json:"-"` // TrySubmit rejections on a full ring
 	RingBatches    uint64 `json:"-"` // ExecuteBatch calls from ring consumers
 	RingBatchedOps uint64 `json:"-"` // ops carried by those calls
+
+	// Detectable execution (internal/core desc.go, internal/harness resume).
+	// Wire-excluded like the ring counters: the bench/crashtest goldens
+	// predate descriptors. DescriptorWrites counts operation descriptors
+	// written by combiners; DescriptorFlushes counts the explicit per-line
+	// descriptor flushes of the durable path (zero in Volatile and Buffered
+	// modes, whose descriptors ride the checkpoint WBINVD); DedupHits counts
+	// in-flight operations a post-crash resume resolved as already committed
+	// and therefore did not resubmit.
+	DescriptorWrites  uint64 `json:"-"`
+	DescriptorFlushes uint64 `json:"-"`
+	DedupHits         uint64 `json:"-"`
 }
 
 // Wire returns the counters with the host-side substrate fields (`json:"-"`,
@@ -116,6 +128,7 @@ type Counters struct {
 func (c Counters) Wire() Counters {
 	c.Clones, c.PagesCopied, c.LinesScannedAtCrash = 0, 0, 0
 	c.RingSubmits, c.RingFullStalls, c.RingBatches, c.RingBatchedOps = 0, 0, 0, 0
+	c.DescriptorWrites, c.DescriptorFlushes, c.DedupHits = 0, 0, 0
 	return c
 }
 

@@ -40,7 +40,17 @@ const (
 	entryCode   = 1
 	entryA0     = 2
 	entryA1     = 3
+	entryInvid  = 4
 )
+
+// InvocationID builds the client-assigned invocation id for the seq-th
+// operation submitted on shard during service epoch epoch. Every component
+// is biased by one so a valid id is never zero (zero means "not
+// detectable" to the engine), and the epoch salt keeps ids from distinct
+// service generations — e.g. before and after a crash — disjoint.
+func InvocationID(epoch uint64, shard int, seq uint64) uint64 {
+	return (epoch+1)<<56 | (uint64(shard)+1)<<40 | (seq + 1)
+}
 
 // Batcher is the batched execution path of a construction. core.PREP
 // implements it; constructions that don't are driven per-op.
@@ -69,6 +79,14 @@ type Future struct {
 	// coordinated-omission-free measurement wants.
 	ArrivalNS uint64
 	DoneNS    uint64
+	// Invid is the invocation id the operation was stamped with (0 unless
+	// Config.Detect). After a crash, recovery's resolved map is keyed by it.
+	Invid uint64
+	// ExecNS is the instant the consumer drained the operation's batch —
+	// the earliest its execution can have started. [ExecNS, DoneNS] brackets
+	// the operation's linearization point far tighter than the arrival
+	// window; history checkers want it.
+	ExecNS uint64
 
 	svc *Service
 }
@@ -120,6 +138,16 @@ type Config struct {
 	// OnComplete, if set, is invoked for every completed future (after its
 	// fields are final). The open-loop harness hooks latency histograms here.
 	OnComplete func(shard int, f *Future)
+	// Detect stamps every submission with a unique invocation id
+	// (InvocationID) so a detectable engine (core.Config.Detect) durably
+	// records each update's fate and recovery can resolve the in-flight
+	// window to exactly-once semantics. Off, no id is stamped or carried
+	// and the ring traffic is identical to a build without the feature.
+	Detect bool
+	// InvidEpoch salts the invocation ids. Distinct service generations
+	// over one machine lifetime — e.g. pre-crash and resumed — must use
+	// distinct epochs so their ids never collide.
+	InvidEpoch uint64
 }
 
 // Service owns the per-shard submission rings.
@@ -137,9 +165,12 @@ type ring struct {
 	mem     *nvm.Memory
 	size    uint64
 	futures []*Future
-	// submitted and completed are host-side tallies the crash harness reads
-	// to size the in-flight window at a crash cut.
+	// submitted, drained and completed are host-side tallies the crash
+	// harness reads to size the in-flight window at a crash cut: entries in
+	// [completed, drained) had reached the engine, entries in
+	// [drained, submitted) were still queued and so provably never executed.
 	submitted uint64
+	drained   uint64
 	completed uint64
 }
 
@@ -215,6 +246,10 @@ func (c *Client) TrySubmit(t *sim.Thread, op uc.Op, arrivalNS uint64) (*Future, 
 		r.mem.Store(t, off+entryCode, op.Code)
 		r.mem.Store(t, off+entryA0, op.A0)
 		r.mem.Store(t, off+entryA1, op.A1)
+		if c.svc.cfg.Detect {
+			f.Invid = InvocationID(c.svc.cfg.InvidEpoch, c.shard, tail)
+			r.mem.Store(t, off+entryInvid, f.Invid)
+		}
 		r.mem.Store(t, off+entryState, r.fullMark(tail))
 		r.submitted++
 		c.svc.met.RingSubmits++
@@ -234,8 +269,9 @@ func (c *Client) Submit(t *sim.Thread, op uc.Op) *Future {
 	}
 }
 
-// Submitted and Completed report the shard's host-side tallies.
+// Submitted, Drained and Completed report the shard's host-side tallies.
 func (c *Client) Submitted() uint64 { return c.r.submitted }
+func (c *Client) Drained() uint64   { return c.r.drained }
 func (c *Client) Completed() uint64 { return c.r.completed }
 
 // Stop asks every consumer to exit once its ring is drained. Host-side: the
@@ -270,6 +306,9 @@ func (s *Service) Serve(t *sim.Thread, shard int) {
 				A0:   r.mem.Load(t, off+entryA0),
 				A1:   r.mem.Load(t, off+entryA1),
 			}
+			if s.cfg.Detect {
+				ops[n].Invid = r.mem.Load(t, off+entryInvid)
+			}
 			futs[n] = r.futures[idx%r.size]
 			n++
 		}
@@ -281,6 +320,8 @@ func (s *Service) Serve(t *sim.Thread, shard int) {
 			continue
 		}
 		r.mem.Store(t, ringHead, head+uint64(n))
+		r.drained = head + uint64(n)
+		execNS := t.Clock()
 		var mark uint64
 		if s.batcher != nil {
 			mark = s.batcher.ExecuteBatch(t, shard, ops[:n], res[:n])
@@ -293,6 +334,7 @@ func (s *Service) Serve(t *sim.Thread, shard int) {
 			f := futs[i]
 			f.Result = res[i]
 			f.Mark = mark
+			f.ExecNS = execNS
 			f.DoneNS = t.Clock()
 			f.Done = true
 			r.completed++

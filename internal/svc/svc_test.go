@@ -280,3 +280,55 @@ func TestConfigValidation(t *testing.T) {
 	})
 	sch.Run()
 }
+
+// TestDetectStampsAndCursors covers the detectable-execution plumbing the
+// crash harness relies on: with Detect on, the k-th operation submitted
+// through a shard carries InvocationID(epoch, shard, k); every future's
+// ExecNS (the drain instant) brackets execution from below; and the
+// host-side drained cursor tracks submissions through completion.
+func TestDetectStampsAndCursors(t *testing.T) {
+	const per = 40
+	w := newWorld(t, core.Durable, 16, 2, true, 7)
+	// Rebuild the service with detection on (newWorld's has it off).
+	sch := sim.New(70)
+	w.sys.SetScheduler(sch)
+	var err error
+	sch.Spawn("reboot", 0, 0, func(th *sim.Thread) {
+		w.s, err = svc.New(th, w.sys, svc.Config{
+			Engine: w.p, Topology: topo(), Shards: w.shards,
+			RingSize: 256, MaxBatch: 32, Batched: true,
+			NamePrefix: "det", Detect: true, InvidEpoch: 3,
+		})
+	})
+	sch.Run()
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	futs := make([][]*svc.Future, w.shards)
+	w.run(700, w.shards, func(th *sim.Thread, pid int) {
+		c := w.s.Client(pid) // one producer per shard: seq == submit index
+		for i := uint64(0); i < per; i++ {
+			k := uint64(pid)<<20 | i
+			f := c.Submit(th, uc.Insert(k, k+1))
+			f.Wait(th)
+			futs[pid] = append(futs[pid], f)
+		}
+	})
+	for shard := range futs {
+		for i, f := range futs[shard] {
+			want := svc.InvocationID(3, shard, uint64(i))
+			if f.Invid != want {
+				t.Fatalf("shard %d op %d: invid %#x, want %#x", shard, i, f.Invid, want)
+			}
+			if f.ExecNS < f.ArrivalNS || f.ExecNS > f.DoneNS {
+				t.Fatalf("shard %d op %d: exec stamp %d outside [%d, %d]",
+					shard, i, f.ExecNS, f.ArrivalNS, f.DoneNS)
+			}
+		}
+		c := w.s.Client(shard)
+		if c.Submitted() != per || c.Drained() != per || c.Completed() != per {
+			t.Fatalf("shard %d cursors: submitted=%d drained=%d completed=%d, want all %d",
+				shard, c.Submitted(), c.Drained(), c.Completed(), per)
+		}
+	}
+}

@@ -89,6 +89,14 @@ func OpCode(name string) uint64 { return opCodes[name] }
 // Op is one encoded operation.
 type Op struct {
 	Code, A0, A1 uint64
+	// Invid is an optional client-assigned invocation identifier for
+	// detectable execution. When nonzero, constructions that support
+	// operation descriptors (core.Config.Detect) durably record the
+	// operation's fate so recovery can answer completed-with-result /
+	// never-applied for it. Zero — the zero value, and what every
+	// closed-loop benchmark driver passes — requests no detectability and
+	// costs nothing.
+	Invid uint64
 }
 
 // DataStructure is a black-box sequential object. A universal construction
