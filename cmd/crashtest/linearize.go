@@ -43,6 +43,7 @@ func runLinearizeCycle(mk driverMaker, iter int, crashAt uint64) (checkBlock, cy
 	bootSch := sim.New(base)
 	sys := nvm.NewSystem(bootSch, nvm.Config{
 		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+		NoFlushElision: !*flushElide,
 	})
 	sys.SetFaultPolicy(cyclePolicy(iter, base))
 	var err error

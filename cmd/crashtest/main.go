@@ -104,6 +104,7 @@ var (
 	sweepStride = flag.Uint64("sweep-stride", 0, "event stride between swept nested crash points (0: recovery_events/(sweep+1))")
 	cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+	flushElide  = flag.Bool("flush-elide", true, "FliT-style clean-line flush elision in the NVM substrate (false: reference no-elision cost model)")
 )
 
 // CrashSchema identifies the machine-readable crashtest output format.
@@ -481,6 +482,7 @@ func runCycle(mk driverMaker, iter int, crashAt uint64) (history.Report, cycleSt
 	bootSch := sim.New(base)
 	sys := nvm.NewSystem(bootSch, nvm.Config{
 		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+		NoFlushElision: !*flushElide,
 	})
 	sys.SetFaultPolicy(cyclePolicy(iter, base))
 	var err error
@@ -558,6 +560,9 @@ func reportFailure(w io.Writer, mk driverMaker, iter int, crashAt uint64) {
 	}
 	if *checkMode != "prefix" {
 		args = append(args, fmt.Sprintf("-check=%s", *checkMode), fmt.Sprintf("-epochs=%d", *epochs))
+	}
+	if !*flushElide {
+		args = append(args, "-flush-elide=false")
 	}
 	if *policySpec != "" {
 		spec := *policySpec

@@ -59,6 +59,7 @@ func runSweep(progress io.Writer, mk driverMaker) *sweepBlock {
 	bootSch := sim.New(base)
 	sys := nvm.NewSystem(bootSch, nvm.Config{
 		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+		NoFlushElision: !*flushElide,
 	})
 	sys.SetFaultPolicy(cyclePolicy(0, base))
 	var err error

@@ -120,7 +120,7 @@ func (p *PREP) ExecuteBatch(t *sim.Thread, tid int, ops []uc.Op, res []uint64) u
 			}
 		}
 		if durable {
-			p.log.PersistCompletedTail(t, f, newTail, !p.cfg.NoCTailElide)
+			p.log.PersistCompletedTail(t, f)
 		}
 	} else if rep.localTail(t) < newTail {
 		p.catchUp(t, rep, newTail)
@@ -235,7 +235,7 @@ func (p *PREP) executeBatchDetect(t *sim.Thread, tid int, rep *replica, ops []uc
 		}
 	}
 	if durable {
-		p.log.PersistCompletedTail(t, f, newTail, !p.cfg.NoCTailElide)
+		p.log.PersistCompletedTail(t, f)
 	}
 	rep.rw.WriteUnlock(t)
 	rep.combiner.Release(t)

@@ -551,7 +551,7 @@ func TestAblationVariantsRun(t *testing.T) {
 	}{
 		{"NoBatching", func(c *Config) { c.NoBatching = true }},
 		{"PerLineFlush", func(c *Config) { c.PerLineFlush = true }},
-		{"NoCTailElide", func(c *Config) { c.NoCTailElide = true }},
+		{"NoFlushElision", func(c *Config) { c.NoFlushElision = true }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := hashCfg(Durable, workers, 128, 32)

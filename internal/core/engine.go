@@ -149,6 +149,12 @@ func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.NoFlushElision {
+		// The ablation only ever disables elision: a system booted with
+		// elision off (nvm.Config.NoFlushElision) stays off regardless of the
+		// engine config, so a harness-wide reference run cannot be undone.
+		sys.SetFlushElision(false)
+	}
 	p := &PREP{
 		cfg:   cfg,
 		sys:   sys,
@@ -542,7 +548,7 @@ func (p *PREP) combine(t *sim.Thread, rep *replica, mySlot int) uint64 {
 		}
 	}
 	if durable {
-		p.log.PersistCompletedTail(t, f, newTail, !p.cfg.NoCTailElide)
+		p.log.PersistCompletedTail(t, f)
 	}
 
 	// Apply the batch and deliver responses.
@@ -647,7 +653,7 @@ func (p *PREP) combineDetect(t *sim.Thread, rep *replica, mySlot int, batch []in
 		}
 	}
 	if durable {
-		p.log.PersistCompletedTail(t, f, newTail, !p.cfg.NoCTailElide)
+		p.log.PersistCompletedTail(t, f)
 	}
 
 	var myRes uint64

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// BenchmarkDurableFlushPath is the wall-clock benchmark of the durable hot
+// path recorded in BENCH_wallclock.json: boot a small PREP-Durable engine
+// and push 8 workers × 8 batches × 8 ops through combine — entry flushes,
+// fences, combiner catch-up over other nodes' entries (the elision site) and
+// the completedTail sync flush. The CI bench-smoke guards its ns/op at the
+// usual 2x threshold, so a regression in the per-flush state lookup or the
+// pending-set bookkeeping shows up even when virtual-time figures hide it.
+func BenchmarkDurableFlushPath(b *testing.B) {
+	b.ReportAllocs()
+	const workers, batches, k = 8, 8, 8
+	cfg := hashCfg(Durable, workers, 4096, 64)
+	for i := 0; i < b.N; i++ {
+		sch := sim.New(1)
+		sys := nvm.NewSystem(sch, nvm.Config{Seed: 1})
+		var p *PREP
+		var err error
+		sch.Spawn("boot", 0, 0, func(th *sim.Thread) { p, err = New(th, sys, cfg) })
+		sch.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sch = sim.New(2)
+		sys.SetScheduler(sch)
+		// The workers outrun the flush boundary, so the persistence thread
+		// must run to pace them — exactly the production geometry.
+		p.SpawnPersistence(0)
+		remaining := workers
+		for tid := 0; tid < workers; tid++ {
+			tid := tid
+			node := cfg.Topology.NodeOf(tid)
+			sch.Spawn("worker", node, 0, func(th *sim.Thread) {
+				ops := make([]uc.Op, k)
+				res := make([]uint64, k)
+				for bn := 0; bn < batches; bn++ {
+					for j := range ops {
+						ops[j] = uc.Insert(uint64(tid)<<32|uint64(bn*k+j), 1)
+					}
+					p.ExecuteBatch(th, tid, ops, res)
+				}
+				remaining--
+				if remaining == 0 {
+					p.StopPersistence(th)
+				}
+			})
+		}
+		sch.Run()
+		if remaining != 0 {
+			b.Fatalf("%d workers did not finish", remaining)
+		}
+	}
+}

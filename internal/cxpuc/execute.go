@@ -159,6 +159,10 @@ func (cx *CX) applyThrough(t *sim.Thread, r *cxReplica, upTo uint64) uint64 {
 	r.alloc.SetRoot(t, appliedRootSlot, upTo)
 	// The defining cost of CX-PUC: persist the ENTIRE replica after the
 	// update batch, because a black box gives no way to know what changed.
+	// The instruction stream stays whole-region; the substrate's FliT-style
+	// clean-line check (DESIGN.md §12) write-backs only the lines actually
+	// dirtied since the last flush and prices the rest as state checks —
+	// CX-PUC is the construction that benefits most from it.
 	r.heap.FlushRegion(t, 0, r.alloc.HeapTop(t))
 	cx.publish(t, upTo, r.id)
 	return last

@@ -198,15 +198,15 @@ func Catalog(sc Scale) map[string]Figure {
 		ExpectedShape: "ONLL's flush-free reads are competitive at 90% reads, but its serialized updates and per-op logging cap scaling below PREP; its recovery replays the whole history (see ext-recovery)",
 	}
 
-	figs["ablation-ctail"] = Figure{
-		ID: "ablation-ctail", Title: "completedTail flush elision (PREP-Durable)",
+	figs["ablation-flushelide"] = Figure{
+		ID: "ablation-flushelide", Title: "FliT-style flush elision (PREP-Durable)",
 		Workload: workload.SetSpec(50, sc.KeyRange),
 		Algos: []AlgoSpec{
 			{"elide", PREPBuilder(core.Durable, sc.EpsLarge, hashmap, setHeap)},
 			{"always-flush", PREPAblationBuilder(core.Durable, sc.EpsLarge, hashmap, setHeap,
-				func(c *core.Config) { c.NoCTailElide = true })},
+				func(c *core.Config) { c.NoFlushElision = true })},
 		},
-		ExpectedShape: "elision matches or beats always-flush",
+		ExpectedShape: "elision matches or beats always-flush; flush_async drops, flushes_elided accounts for the delta",
 	}
 	return figs
 }

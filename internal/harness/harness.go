@@ -115,7 +115,7 @@ func RunFigure(fig Figure, sc Scale, seed int64, jobs int, w io.Writer) ([]Point
 func runPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64) (Point, error) {
 	// Boot phase: build and prefill on a single thread.
 	bootSch := sim.New(seed)
-	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed) + 1})
+	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed) + 1, NoFlushElision: sc.NoFlushElision})
 	var sysImpl System
 	var err error
 	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) {

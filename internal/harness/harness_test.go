@@ -12,7 +12,7 @@ func TestCatalogCoversEveryFigure(t *testing.T) {
 		"fig2a", "fig2b", "fig3",
 		"fig4a", "fig4b", "fig5a", "fig5b",
 		"fig6a", "fig6b",
-		"ablation-batching", "ablation-flush", "ablation-ctail",
+		"ablation-batching", "ablation-flush", "ablation-flushelide",
 	} {
 		fig, ok := figs[id]
 		if !ok {

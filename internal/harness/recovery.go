@@ -83,7 +83,7 @@ func prepRecoveryPoint(sc Scale, seed int64, eps uint64) (RecoveryPoint, error) 
 		Attacher: seq.HashMapAttacher, HeapWords: 1 << 22,
 	}
 	bootSch := sim.New(seed)
-	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed)})
+	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed), NoFlushElision: sc.NoFlushElision})
 	var p *core.PREP
 	var err error
 	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { p, err = core.New(t, sys, cfg) })
@@ -141,7 +141,7 @@ func onllRecoveryPoint(sc Scale, seed int64, hist uint64) (RecoveryPoint, error)
 		HeapWords: 1 << 22, LogEntries: hist + 64,
 	}
 	bootSch := sim.New(seed + 10)
-	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed)})
+	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed), NoFlushElision: sc.NoFlushElision})
 	var o *onll.ONLL
 	var err error
 	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { o, err = onll.New(t, sys, cfg) })

@@ -50,7 +50,7 @@ func VerifyPoint(fig Figure, sc Scale, algo AlgoSpec, threads int, seed int64, o
 
 	// Boot phase, mirroring runPoint.
 	bootSch := sim.New(seed)
-	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed) + 1})
+	sys := nvm.NewSystem(bootSch, nvm.Config{Costs: sc.Costs, Seed: uint64(seed) + 1, NoFlushElision: sc.NoFlushElision})
 	var sysImpl System
 	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) {
 		sysImpl, err = algo.Build(t, sys, sc, threads)

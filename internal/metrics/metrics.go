@@ -33,15 +33,24 @@ type Counters struct {
 	CASes  uint64 `json:"cas_ops"`
 
 	// Persistence-instruction traffic (internal/nvm). FlushAsync counts
-	// CLWB/CLFLUSHOPT issues (including the per-line charges of bulk region
-	// flushes), FlushSync counts blocking CLFLUSHes, Fences counts SFENCEs.
-	FlushAsync       uint64 `json:"flush_async"`
-	FlushSync        uint64 `json:"flush_sync"`
-	Fences           uint64 `json:"fences"`
-	WBINVDs          uint64 `json:"wbinvd_count"`
-	WBINVDLines      uint64 `json:"wbinvd_lines"`
-	BGFlushes        uint64 `json:"bg_flushes"`
-	LinesWrittenBack uint64 `json:"lines_written_back"`
+	// CLWB/CLFLUSHOPT issues that actually reached the write-back path
+	// (including the per-line charges of bulk region flushes), FlushSync
+	// counts blocking CLFLUSHes, Fences counts SFENCEs.
+	// FlushElisionChecks counts every flush request that consulted the
+	// per-line dirty state (all of them, in elision mode); FlushesElided
+	// counts the subset found clean (or already pending on the issuing
+	// thread) whose write-back was skipped — the FliT-style saving. In the
+	// reference no-elision mode both stay zero and every request lands in
+	// FlushAsync/FlushSync.
+	FlushAsync         uint64 `json:"flush_async"`
+	FlushSync          uint64 `json:"flush_sync"`
+	FlushElisionChecks uint64 `json:"flush_elision_checks"`
+	FlushesElided      uint64 `json:"flushes_elided"`
+	Fences             uint64 `json:"fences"`
+	WBINVDs            uint64 `json:"wbinvd_count"`
+	WBINVDLines        uint64 `json:"wbinvd_lines"`
+	BGFlushes          uint64 `json:"bg_flushes"`
+	LinesWrittenBack   uint64 `json:"lines_written_back"`
 
 	// Coherence-cost events (internal/nvm): how often an access paid an
 	// intra-node cache-to-cache transfer (or sharer invalidation) vs a

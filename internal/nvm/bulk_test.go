@@ -51,9 +51,16 @@ func TestFlushRegionCostScalesWithLines(t *testing.T) {
 	var small, large uint64
 	runOne(t, Config{Costs: costs}, 0, func(th *sim.Thread, sys *System) {
 		m := sys.NewMemory("m", NVM, 0, 4096)
+		// Dirty the whole region so elision has nothing to skip: the scaling
+		// under test is the per-written-back-line charge.
+		for w := uint64(0); w < 4096; w += WordsPerLine {
+			m.Store(th, w, w+1)
+		}
 		before := th.Clock()
 		m.FlushRegion(th, 0, 8)
 		small = th.Clock() - before
+		// Re-dirty the line the small flush cleaned.
+		m.Store(th, 0, 7)
 		before = th.Clock()
 		m.FlushRegion(th, 0, 4096)
 		large = th.Clock() - before
@@ -61,6 +68,32 @@ func TestFlushRegionCostScalesWithLines(t *testing.T) {
 	if large <= small*10 {
 		t.Errorf("512-line flush (%d) not much costlier than 1-line (%d)", large, small)
 	}
+}
+
+func TestFlushRegionElidesCleanLines(t *testing.T) {
+	costs := sim.Costs{FlushLine: 10, FlushCheck: 1, Fence: 5, FencePerPending: 2}
+	runOne(t, Config{Costs: costs}, 0, func(th *sim.Thread, sys *System) {
+		m := sys.NewMemory("m", NVM, 0, 64) // 8 lines
+		m.Store(th, 0, 1)                   // line 0 dirty
+		m.Store(th, 40, 2)                  // line 5 dirty
+		base := sys.Metrics().Snapshot()
+		before := th.Clock()
+		m.FlushRegion(th, 0, 64)
+		cost := th.Clock() - before
+		d := sys.Metrics().Snapshot().Sub(base)
+		if d.FlushAsync != 2 || d.FlushesElided != 6 || d.FlushElisionChecks != 8 {
+			t.Errorf("region flush: async=%d elided=%d checks=%d, want 2,6,8",
+				d.FlushAsync, d.FlushesElided, d.FlushElisionChecks)
+		}
+		// 2 write-backs + 6 checks + fence + 8 per-pending (the fence drain
+		// walks every region line, written back or not).
+		if want := uint64(2*10 + 6*1 + 5 + 8*2); cost != want {
+			t.Errorf("region flush cost = %d, want %d", cost, want)
+		}
+		if m.PersistedLoad(0) != 1 || m.PersistedLoad(40) != 2 {
+			t.Error("dirty lines not persisted by region flush")
+		}
+	})
 }
 
 func TestFlushRegionEmptyRangeJustFences(t *testing.T) {

@@ -81,6 +81,7 @@ func (s *System) Recover(sch *sim.Scheduler) *System {
 		bgProb:   s.bgProb,
 		rngState: s.nextRand() | 1,
 		policy:   s.policy,
+		elide:    s.elide,
 		// The metrics registry survives the crash: counters are host-side
 		// observability state, not machine state, and carrying it over lets a
 		// crash harness see recovery-time replay work in the same snapshot
@@ -140,6 +141,7 @@ func (s *System) Clone(sch *sim.Scheduler) *System {
 		fences:   s.fences,
 		wbinvds:  s.wbinvds,
 		policy:   s.policy,
+		elide:    s.elide,
 		met:      &met,
 	}
 	for _, m := range s.order {

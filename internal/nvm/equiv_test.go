@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"prepuc/internal/fault"
+	"prepuc/internal/metrics"
 	"prepuc/internal/sim"
 )
 
@@ -22,14 +23,16 @@ type equivResult struct {
 	events    [3]uint64 // per-phase scheduler event counts
 	persisted map[string][]uint64
 	dirty     map[string]uint64
-	metrics   string // JSON-marshaled snapshot (wire-format counters)
+	metrics   string           // JSON-marshaled snapshot (wire-format counters)
+	snap      metrics.Snapshot // raw snapshot for cross-mode counter algebra
 }
 
 // equivWorkload drives a mixed randomized workload on two NVM memories and
 // one volatile memory to an armed crash, recovers, runs a second phase on
 // the recovered machine, crashes and recovers again (so stateful policies
-// see multiple crashes), and returns the observable outcome.
-func equivWorkload(seed uint64, policy fault.Policy) equivResult {
+// see multiple crashes), and returns the observable outcome. noElide selects
+// the reference always-write-back flush cost model over FliT-style elision.
+func equivWorkload(seed uint64, policy fault.Policy, noElide bool) equivResult {
 	const (
 		memWordsA = 4096
 		memWordsB = 1024
@@ -37,7 +40,7 @@ func equivWorkload(seed uint64, policy fault.Policy) equivResult {
 	res := equivResult{persisted: map[string][]uint64{}, dirty: map[string]uint64{}}
 
 	sch := sim.New(int64(seed))
-	sys := NewSystem(sch, Config{Costs: sim.UnitCosts(), BGFlushOneIn: 32, Seed: seed, Policy: policy})
+	sys := NewSystem(sch, Config{Costs: sim.UnitCosts(), BGFlushOneIn: 32, Seed: seed, Policy: policy, NoFlushElision: noElide})
 	a := sys.NewMemory("a", NVM, 0, memWordsA)
 	b := sys.NewMemory("b", NVM, 0, memWordsB)
 	v := sys.NewMemory("v", Volatile, 0, 512)
@@ -132,7 +135,8 @@ func equivWorkload(seed uint64, policy fault.Policy) equivResult {
 	// The wire-format snapshot covers every simulated-hardware counter;
 	// host-side snapshot counters (json:"-") are excluded by construction —
 	// they measure the substrate implementation, not the machine.
-	js, err := json.Marshal(sys.Metrics().Snapshot())
+	res.snap = sys.Metrics().Snapshot()
+	js, err := json.Marshal(res.snap)
 	if err != nil {
 		panic(err)
 	}
@@ -158,9 +162,9 @@ func TestDirtyListEquivalence(t *testing.T) {
 				// Fresh policy per run: stateful policies must see the same
 				// crash sequence in both strategies.
 				debugFullScan = false
-				list := equivWorkload(seed, mk())
+				list := equivWorkload(seed, mk(), false)
 				debugFullScan = true
-				full := equivWorkload(seed, mk())
+				full := equivWorkload(seed, mk(), false)
 				debugFullScan = false
 
 				if list.events != full.events {

@@ -66,6 +66,7 @@ const Interleaved = -1
 type Stats struct {
 	Loads, Stores, CASes   uint64
 	FlushAsync, FlushSync  uint64
+	FlushesElided          uint64 // clean-line flush requests skipped (FliT)
 	BGFlushes              uint64
 	LinesWrittenBack       uint64 // by any mechanism
 	WBINVDLinesWrittenBack uint64
@@ -137,6 +138,14 @@ type System struct {
 	// policy decides the fate of flushed-but-unfenced lines at a crash; nil
 	// selects the built-in fair coin (see Recover).
 	policy fault.Policy
+	// elide enables FliT-style flush elision: a flush request whose target
+	// line is clean charges only Costs.FlushCheck and skips the write-back.
+	// Elision never changes which lines enter the pending sets — clean lines
+	// are excluded in both modes (a CLWB of a clean line writes back
+	// nothing, and a store after it is NOT covered by it) — so crash
+	// materialization is identical either way; the knob only switches the
+	// cost model and the FlushAsync/FlushSync vs FlushesElided accounting.
+	elide bool
 	// met is the machine-wide metrics registry; memory, flusher, lock, log
 	// and engine events all record into it. Increments are host-side only
 	// and cost no virtual time (see package metrics).
@@ -154,6 +163,11 @@ type Config struct {
 	// Policy overrides the crash-time materialization of pending (flushed
 	// but unfenced) lines. Nil keeps the substrate's default fair coin.
 	Policy fault.Policy
+	// NoFlushElision disables the FliT-style clean-line flush elision and
+	// restores the reference cost model where every flush request charges a
+	// full FlushLine/FlushSync. The persisted views are identical in both
+	// modes; equivalence and ablation runs use this as the baseline.
+	NoFlushElision bool
 }
 
 // NewSystem creates a machine attached to the given scheduler.
@@ -169,9 +183,18 @@ func NewSystem(sch *sim.Scheduler, cfg Config) *System {
 		bgProb:   cfg.BGFlushOneIn,
 		rngState: seed,
 		policy:   cfg.Policy,
+		elide:    !cfg.NoFlushElision,
 		met:      metrics.NewRegistry(),
 	}
 }
+
+// SetFlushElision switches FliT-style clean-line flush elision on or off.
+// Engine ablations call it after boot; the setting is carried through
+// Recover and Clone.
+func (s *System) SetFlushElision(on bool) { s.elide = on }
+
+// FlushElision reports whether clean-line flush elision is enabled.
+func (s *System) FlushElision() bool { return s.elide }
 
 // SetFaultPolicy replaces the crash-time persistence adversary. A nil policy
 // restores the default fair coin. The policy applies to this system's next
@@ -504,6 +527,44 @@ func (m *Memory) FlushRegion(t *sim.Thread, from, to uint64) {
 	first := from / WordsPerLine
 	last := (to - 1) / WordsPerLine
 	lines := last - first + 1
+	if m.sys.elide {
+		// FliT-style elision: only the dirty lines in the range are written
+		// back and charged; clean lines cost one state check each. The
+		// persisted view is identical either way (persisting a clean line is
+		// a no-op), so only the cost model and accounting change. The cost is
+		// priced from the pre-Step dirty count and the write-back happens
+		// after the Step, mirroring the reference branch's charge-then-act
+		// order so both modes observe the same post-yield line state.
+		// FencePerPending is charged for every line in the range, not just
+		// the written-back subset: the trailing fence's drain walk covers the
+		// whole region either way — and it keeps a region flush the same
+		// number of unit-cost steps in both modes, so elision-on and
+		// reference runs stay schedule-identical under sim.UnitCosts (the
+		// property the on/off equivalence suite pins word-for-word).
+		var dirty uint64
+		for line := first; line <= last; line++ {
+			if m.dstate.load(line)&lineDirty != 0 {
+				dirty++
+			}
+		}
+		t.Step(m.sys.costs.FlushLine*dirty + m.sys.costs.FlushCheck*(lines-dirty) +
+			m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
+		m.sys.fences++
+		m.sys.met.Fences++
+		var wrote uint64
+		for line := first; line <= last; line++ {
+			if m.dstate.load(line)&lineDirty != 0 {
+				m.persistLine(line)
+				wrote++
+			}
+		}
+		m.stats.FlushAsync += wrote
+		m.sys.met.FlushAsync += wrote
+		m.stats.FlushesElided += lines - wrote
+		m.sys.met.FlushesElided += lines - wrote
+		m.sys.met.FlushElisionChecks += lines
+		return
+	}
 	t.Step(m.sys.costs.FlushLine*lines + m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
 	m.sys.fences++
 	m.sys.met.Fences++

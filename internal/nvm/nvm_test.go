@@ -451,9 +451,10 @@ func TestStatsCounters(t *testing.T) {
 		m.CAS(th, 0, 1, 2)
 		f.FlushLine(th, m, 0)
 		f.Fence(th)
+		m.Store(th, 0, 3) // re-dirty: a sync flush of a clean line is elided
 		f.FlushLineSync(th, m, 0)
 		st := m.Stats()
-		if st.Stores != 1 || st.Loads != 1 || st.CASes != 1 {
+		if st.Stores != 2 || st.Loads != 1 || st.CASes != 1 {
 			t.Errorf("stats = %+v", st)
 		}
 		if st.FlushAsync != 1 || st.FlushSync != 1 {

@@ -134,55 +134,37 @@ func (l *Log) CASLogTail(t *sim.Thread, old, new uint64) bool {
 	return true
 }
 
-// completedTail is stored tagged: value<<1 | dirty. The dirty bit supports
-// the flush-elision optimization of PREP-Durable (§5.2): a CASing thread may
-// skip its CLFLUSH when a later value has already been persisted.
-const ctDirty = 1
-
 // CompletedTail loads the applied-up-to index.
 func (l *Log) CompletedTail(t *sim.Thread) uint64 {
-	return l.mem.Load(t, offCompletedTail) >> 1
+	return l.mem.Load(t, offCompletedTail)
 }
 
-// CASCompletedTail advances completedTail from old to new (values, not
-// tagged words). The new value is stored dirty; PersistCompletedTail clears
-// it. It returns false if completedTail was not old.
+// CASCompletedTail advances completedTail from old to new. It returns false
+// if completedTail was not old.
 func (l *Log) CASCompletedTail(t *sim.Thread, old, new uint64) bool {
-	w := l.mem.Load(t, offCompletedTail)
-	if w>>1 != old {
-		return false
-	}
-	return l.mem.CAS(t, offCompletedTail, w, new<<1|ctDirty)
+	return l.mem.CAS(t, offCompletedTail, old, new)
 }
 
 // CompletedTailOff returns the word offset of completedTail so the UC can
 // flush its line.
 func (l *Log) CompletedTailOff() uint64 { return offCompletedTail }
 
-// PersistCompletedTail makes the completedTail value just CASed to `val`
-// durable. With elide set (the paper's marking optimization), the flush is
-// skipped when another thread has already persisted an equal or later
-// value — sound because completedTail is monotonic and recovery only needs
-// a lower bound. Returns true if a flush was issued.
-func (l *Log) PersistCompletedTail(t *sim.Thread, f *nvm.Flusher, val uint64, elide bool) bool {
-	if elide {
-		w := l.mem.Load(t, offCompletedTail)
-		if w>>1 >= val && w&ctDirty == 0 {
-			return false // a later value is already persisted
-		}
-	}
+// PersistCompletedTail makes the current completedTail durable. The paper's
+// §5.2 flush-elision optimization — a CASing thread skips its CLFLUSH when a
+// later value is already persisted — falls out of the substrate's FliT-style
+// clean-line tracking: a combiner that lost the persist race finds the line
+// clean (the winner's sync flush persisted it and no store followed) and the
+// flush is elided there, so the log no longer keeps its own dirty tag on the
+// word. Sound because completedTail is monotonic and recovery only needs a
+// lower bound — eliding is only ever done when the persisted word already
+// equals the current one.
+func (l *Log) PersistCompletedTail(t *sim.Thread, f *nvm.Flusher) {
 	f.FlushLineSync(t, l.mem, offCompletedTail)
-	// Best-effort clear of the dirty tag; failure means someone advanced it.
-	w := l.mem.Load(t, offCompletedTail)
-	if w>>1 == val && w&ctDirty != 0 {
-		l.mem.CAS(t, offCompletedTail, w, val<<1)
-	}
-	return true
 }
 
 // PersistedCompletedTail reads completedTail's persisted value (recovery).
 func (l *Log) PersistedCompletedTail() uint64 {
-	return l.mem.PersistedLoad(offCompletedTail) >> 1
+	return l.mem.PersistedLoad(offCompletedTail)
 }
 
 // LogMin loads the reuse horizon.

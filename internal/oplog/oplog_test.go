@@ -123,9 +123,7 @@ func TestPersistCompletedTail(t *testing.T) {
 		if got := l.PersistedCompletedTail(); got != 0 {
 			t.Errorf("persisted completedTail = %d before flush", got)
 		}
-		if !l.PersistCompletedTail(th, f, 5, true) {
-			t.Error("first persist elided")
-		}
+		l.PersistCompletedTail(th, f)
 		if got := l.PersistedCompletedTail(); got != 5 {
 			t.Errorf("persisted completedTail = %d, want 5", got)
 		}
@@ -133,20 +131,53 @@ func TestPersistCompletedTail(t *testing.T) {
 }
 
 func TestPersistCompletedTailElision(t *testing.T) {
+	// The §5.2 elision — a combiner that lost the persist race skips its
+	// CLFLUSH — now comes from the substrate: after the winner's sync flush
+	// the line is clean, so a second PersistCompletedTail is elided.
 	runLog(t, nvm.NVM, 8, func(th *sim.Thread, sys *nvm.System, l *Log) {
 		f := sys.NewFlusher()
 		l.CASCompletedTail(th, 0, 5)
-		l.PersistCompletedTail(th, f, 5, true)
-		// A slower thread that CASed to 3 earlier need not flush: 5 >= 3 is
-		// already persisted and clean.
-		if l.PersistCompletedTail(th, f, 3, true) {
-			t.Error("flush for superseded value not elided")
+		base := sys.Metrics().Snapshot()
+		l.PersistCompletedTail(th, f)
+		d := sys.Metrics().Snapshot().Sub(base)
+		if d.FlushSync != 1 || d.FlushesElided != 0 {
+			t.Errorf("winner persist: FlushSync=%d FlushesElided=%d, want 1,0", d.FlushSync, d.FlushesElided)
 		}
-		// Without elision it always flushes.
-		if !l.PersistCompletedTail(th, f, 3, false) {
-			t.Error("non-eliding persist skipped flush")
+		// A slower combiner re-persisting the (clean) word is elided.
+		base = sys.Metrics().Snapshot()
+		l.PersistCompletedTail(th, f)
+		d = sys.Metrics().Snapshot().Sub(base)
+		if d.FlushSync != 0 || d.FlushesElided != 1 {
+			t.Errorf("loser persist: FlushSync=%d FlushesElided=%d, want 0,1", d.FlushSync, d.FlushesElided)
+		}
+		if got := l.PersistedCompletedTail(); got != 5 {
+			t.Errorf("persisted completedTail = %d, want 5", got)
 		}
 	})
+}
+
+func TestPersistCompletedTailNoElisionMode(t *testing.T) {
+	// With elision disabled every persist pays a full sync flush; the
+	// persisted view is the same either way.
+	sch := sim.New(1)
+	sys := nvm.NewSystem(sch, nvm.Config{NoFlushElision: true})
+	m := sys.NewMemory("log", nvm.NVM, nvm.Interleaved, WordsFor(8))
+	sch.Spawn("t", 0, 0, func(th *sim.Thread) {
+		l := New(th, m, 8)
+		f := sys.NewFlusher()
+		l.CASCompletedTail(th, 0, 5)
+		l.PersistCompletedTail(th, f)
+		l.PersistCompletedTail(th, f)
+		d := sys.Metrics().Snapshot()
+		if d.FlushSync != 2 || d.FlushesElided != 0 || d.FlushElisionChecks != 0 {
+			t.Errorf("no-elision persists: FlushSync=%d FlushesElided=%d checks=%d, want 2,0,0",
+				d.FlushSync, d.FlushesElided, d.FlushElisionChecks)
+		}
+		if got := l.PersistedCompletedTail(); got != 5 {
+			t.Errorf("persisted completedTail = %d, want 5", got)
+		}
+	})
+	sch.Run()
 }
 
 func TestLogMin(t *testing.T) {
@@ -187,7 +218,7 @@ func TestDurableLogSurvivesCrash(t *testing.T) {
 		f.FlushLine(th, m, l.EntryOff(0))
 		f.Fence(th)
 		l.CASCompletedTail(th, 0, 1)
-		l.PersistCompletedTail(th, f, 1, true)
+		l.PersistCompletedTail(th, f)
 		// Entry 1: args written and fenced but emptyBit never set — must be
 		// recoverable as empty.
 		l.WriteArgs(th, 1, 43, 9, 10)

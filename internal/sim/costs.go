@@ -29,6 +29,10 @@ type Costs struct {
 	FlushLine uint64
 	// FlushSync is a blocking flush (CLFLUSH) of one line.
 	FlushSync uint64
+	// FlushCheck is the cached per-line state lookup of a FliT-style tracked
+	// flush: when elision finds the line clean (or already pending on this
+	// thread) the write-back is skipped and only this check is charged.
+	FlushCheck uint64
 	// Fence is an SFENCE draining all pending asynchronous flushes.
 	// Charged once per fence plus FencePerPending for each drained line.
 	Fence           uint64
@@ -59,6 +63,7 @@ func DefaultCosts() Costs {
 		NVMLoadExtra:    30,
 		FlushLine:       40,
 		FlushSync:       400,
+		FlushCheck:      15,
 		Fence:           120,
 		FencePerPending: 350,
 		WBINVDBase:      150_000,
@@ -79,7 +84,7 @@ func UnitCosts() Costs {
 	return Costs{
 		LocalAccess: 1, RemoteAccess: 1, CoherenceLocal: 1, CoherenceRemote: 1,
 		NVMStoreExtra: 1, NVMLoadExtra: 1,
-		FlushLine: 1, FlushSync: 1, Fence: 1, FencePerPending: 1,
+		FlushLine: 1, FlushSync: 1, FlushCheck: 1, Fence: 1, FencePerPending: 1,
 		WBINVDBase: 1, WBINVDPerLine: 1, SpinIter: 1, OpBase: 1,
 	}
 }
