@@ -48,6 +48,20 @@ type RecoveryReport struct {
 	DescriptorsCarried uint64
 }
 
+// DebugInPlaceReplay, when set, reintroduces the historical recovery bug
+// this package once shipped: durable log replay executes into the *source*
+// generation's stable heap in place, and the new generation's first replica
+// is cloned from the mutated heap afterwards. A crash-free recovery produces
+// the identical state either way — which is how the bug survived basic
+// testing — but background write-backs during replay leak the partially
+// replayed heap into its persisted view, so a nested crash makes the next
+// recovery attempt start from a torn stable heap (e.g. a bucket head
+// persisted pointing at a node whose line was not, cutting off every key
+// behind it that the log cannot re-create). It exists solely so the
+// exhaustive explorer's mutation test can prove the checker catches the bug;
+// never set it outside a test.
+var DebugInPlaceReplay = false
+
 // Recover rebuilds a PREP-UC instance from the NVM contents that survived a
 // crash (§5.1, §5.2). recSys must come from nvm.System.Recover, and oldCfg
 // must be the configuration of the crashed lineage (any generation of it:
@@ -119,9 +133,16 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*PREP, *Recovery
 		return nil, nil, err
 	}
 	rds := p.preps[0].ds
-	uc.Clone(t, sds, rds)
+	inPlace := DebugInPlaceReplay && srcCfg.Mode == Durable
+	if !inPlace {
+		uc.Clone(t, sds, rds)
+	}
 
 	if srcCfg.Mode == Durable {
+		target := rds
+		if inPlace {
+			target = sds
+		}
 		logMem := recSys.Memory(srcCfg.memName("log"))
 		l := oplog.Attach(logMem, srcCfg.LogSize)
 		rep.CompletedTail = l.PersistedCompletedTail()
@@ -132,8 +153,11 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*PREP, *Recovery
 				continue
 			}
 			code, a0, a1 := l.PersistedReadEntry(idx)
-			rds.Execute(t, code, a0, a1)
+			target.Execute(t, code, a0, a1)
 			rep.Replayed++
+		}
+		if inPlace {
+			uc.Clone(t, sds, rds)
 		}
 	}
 

@@ -1,0 +1,686 @@
+// Package explore is the bounded exhaustive explorer: a model checker for
+// the recovery protocol that, for a tiny configuration, enumerates every
+// schedule (up to DPOR equivalence), every crash-point equivalence class
+// along each schedule, every persist-subset materialization of each crash,
+// and — at depth 2 — every persist-relevant crash inside recovery itself,
+// adjudicating durable linearizability at every leaf.
+//
+// The state space is a tree:
+//
+//	schedule branch   one dispatch order of the workload (DPOR-reduced)
+//	└ crash branch    one crash-point equivalence class along it
+//	  └ mask branch   one subset of the pending flush set materialized
+//	    └ nested …    (depth 2) one crash inside the recovery run
+//	      └ leaf      recovered state, probed and checked
+//
+// Everything is deterministic: the simulator's virtual machine under a
+// forced dispatch prefix replays executions exactly, fault.Subset pins the
+// crash materialization, and the driver seeds every scheduler from
+// Config.Seed — so a counterexample is a four-tuple (schedule prefix,
+// crash event, persist mask, nested pair) that reproduces on any host,
+// any -j, any time.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"prepuc/internal/linearize"
+	"prepuc/internal/par"
+	"prepuc/internal/sim"
+)
+
+// Schema identifies the explorer's JSON report format.
+const Schema = "prepuc-explore/v1"
+
+// Config sizes and selects one exploration.
+type Config struct {
+	// System is the construction under test (see Systems()).
+	System string
+	// Workers / Ops size the workload: Ops operations round-robined over
+	// Workers concurrent clients (op i runs on worker i%Workers).
+	Workers int
+	Ops     int
+	// PrefillN inserts that many keys (disjoint from the workload's) before
+	// the epoch starts; for PREP they are checkpointed and absent from the
+	// log, so recovery must preserve rather than re-create them.
+	PrefillN int
+	// Seed derives every scheduler and substrate RNG seed.
+	Seed int64
+	// Jobs is host-side parallelism (<=0: GOMAXPROCS). The report is
+	// invariant under Jobs.
+	Jobs int
+	// Depth is the crash-nesting depth: 1 explores crashes during the
+	// workload, 2 additionally crashes each recovery at its own
+	// persist-relevant points. (The seed's crashtest only samples this
+	// space; the explorer covers it.)
+	Depth int
+	// Detect routes operations through detectable execution (PREP only) and
+	// adjudicates crash-cut operations as InFlightCommitted/InFlightNever
+	// from the recovery's verdict map instead of leaving them ambiguous.
+	Detect bool
+	// BGFlushOneIn enables the substrate's random background write-backs
+	// (0 = off). Nonzero makes NVM stores crash-branch points.
+	BGFlushOneIn uint64
+	// MaskBits caps exhaustive persist-subset enumeration: a crash with at
+	// most MaskBits pending lines branches over all 2^pending subsets,
+	// larger pending sets fall back to an adversarial capped set (and mark
+	// the report truncated).
+	MaskBits int
+	// MaxRounds is the delay bound: the worklist runs in BFS rounds, each
+	// deviating from schedules of the previous round at one more DPOR
+	// backtrack point, so round r covers every schedule reachable with at
+	// most r-1 forced deviations from the baseline. Race-complete
+	// exploration of a spinning, combining engine is exponential; the delay
+	// bound is the explorer's declared systematic bound (alongside Depth),
+	// and the report records the prefixes left unexplored when it bites.
+	// 0 selects the default (3); negative means unbounded (then
+	// MaxSchedules is the only brake).
+	MaxRounds int
+	// MaxSchedules bounds the number of schedule-prefix executions
+	// (runaway guard; hitting it marks the report truncated).
+	MaxSchedules int
+	// MaxCrashPoints / MaxNested sample crash classes per schedule and
+	// nested points per mask branch (0 = all).
+	MaxCrashPoints int
+	MaxNested      int
+	// MaxRunEvents is the per-execution event guard against non-quiescing
+	// runs.
+	MaxRunEvents uint64
+	// Machine sizing (defaults are explorer-scale).
+	Nodes     int
+	Epsilon   uint64
+	LogSize   uint64
+	HeapWords uint64
+}
+
+func (cfg *Config) defaults() {
+	if cfg.System == "" {
+		cfg.System = "prep-durable"
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 1
+	}
+	if cfg.Depth >= 2 && cfg.MaxNested == 0 {
+		// Depth-2 multiplies every mask branch by (nested points x nested
+		// masks); unsampled it dwarfs depth 1 without finding different
+		// bugs. Explicit MaxNested<0 is "really all".
+		cfg.MaxNested = 2
+	}
+	if cfg.MaskBits == 0 {
+		cfg.MaskBits = 10
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 3
+	}
+	if cfg.MaxSchedules == 0 {
+		cfg.MaxSchedules = 4096
+	}
+	if cfg.MaxRunEvents == 0 {
+		cfg.MaxRunEvents = 5_000_000
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 8
+	}
+	if cfg.LogSize == 0 {
+		cfg.LogSize = 64
+	}
+	if cfg.HeapWords == 0 {
+		cfg.HeapWords = 1 << 12
+	}
+}
+
+// Counterexample is one leaf that failed adjudication, with everything
+// needed to replay it.
+type Counterexample struct {
+	System string `json:"system"`
+	// Phase is "completion" (the crash-free leaf failed strict
+	// linearizability) or "crash".
+	Phase string `json:"phase"`
+	// Schedule is the forced dispatch prefix that reproduces the execution
+	// (decisions beyond it follow the deterministic minimum-clock rule).
+	Schedule []int  `json:"schedule"`
+	CrashAt  uint64 `json:"crash_at,omitempty"`
+	Mask     string `json:"mask,omitempty"`
+	NestedAt uint64 `json:"nested_at,omitempty"`
+	// NestedMask is the persist mask of the crash inside recovery.
+	NestedMask string `json:"nested_mask,omitempty"`
+	Partition  string `json:"partition,omitempty"`
+	Reason     string `json:"reason"`
+	// Trace is the dispatch trace up to the crash, one line per dispatch.
+	Trace []string `json:"trace"`
+	// Repro is a one-line prepexplore invocation replaying exactly this leaf.
+	Repro string `json:"repro"`
+}
+
+// Report is the explorer's result, stable across hosts and Jobs settings
+// (WallMS excepted).
+type Report struct {
+	Schema  string `json:"schema"`
+	System  string `json:"system"`
+	Workers int    `json:"workers"`
+	Ops     int    `json:"ops"`
+	Depth   int    `json:"depth"`
+	Seed    int64  `json:"seed"`
+	Detect  bool   `json:"detect"`
+
+	// PrefixRuns counts workload executions launched to mine schedules;
+	// Schedules counts the distinct executions found (DPOR backtracks that
+	// deterministically converge to an already-seen schedule are run but
+	// not re-explored). Rounds is the number of BFS rounds executed and
+	// UnexploredPrefixes the backtrack prefixes still queued when the
+	// MaxRounds delay bound stopped the search (0 = the frontier drained).
+	PrefixRuns         int    `json:"prefix_runs"`
+	Schedules          int    `json:"schedules"`
+	Rounds             int    `json:"rounds"`
+	UnexploredPrefixes int    `json:"unexplored_prefixes"`
+	ChoicePoints       uint64 `json:"choice_points"`
+	// DPORBranches counts backtrack prefixes queued; DPORPruned counts
+	// co-enabled commuting alternatives proven not to need a branch.
+	DPORBranches uint64 `json:"dpor_branches"`
+	DPORPruned   uint64 `json:"dpor_pruned"`
+
+	CrashBranches  int `json:"crash_branches"`
+	MaskBranches   int `json:"mask_branches"`
+	CappedMasks    int `json:"capped_masks"`
+	NestedBranches int `json:"nested_branches"`
+	Leaves         int `json:"leaves"`
+	MaxDepth       int `json:"max_depth"`
+
+	// DistinctStates counts distinct post-crash materialization
+	// fingerprints across all leaves; Fingerprints lists them (sorted) for
+	// cross-validation against sampling harnesses.
+	DistinctStates int      `json:"distinct_states"`
+	Fingerprints   []string `json:"fingerprints"`
+
+	// Truncated reports any coverage cap hit (schedule budget, crash-point
+	// or nested sampling, capped masks): the run was not exhaustive.
+	Truncated bool `json:"truncated"`
+	// Diverged counts forced prefixes that named a non-dispatchable thread
+	// (always 0 unless the DPOR analysis is buggy).
+	Diverged int `json:"diverged"`
+
+	Counterexamples []Counterexample `json:"counterexamples"`
+	WallMS          float64          `json:"wall_ms"`
+}
+
+// bRes is one schedule's crash-exploration result (phase B of a round).
+type bRes struct {
+	crashBranches, maskBranches, cappedMasks int
+	nestedBranches, leaves, maxDepth         int
+	truncated                                bool
+	fps                                      []uint64
+	ces                                      []Counterexample
+	err                                      error
+}
+
+// Run explores the configured state space to exhaustion (or its caps) and
+// reports. The traversal runs in BFS rounds so host parallelism never
+// changes the result: phase A executes the current prefix frontier and
+// mines DPOR backtracks, phase B crash-explores the novel schedules; all
+// aggregation happens in frontier index order.
+func Run(cfg Config) (*Report, error) {
+	cfg.defaults()
+	start := time.Now()
+	rep := &Report{
+		Schema: Schema, System: cfg.System, Workers: cfg.Workers, Ops: cfg.Ops,
+		Depth: cfg.Depth, Seed: cfg.Seed, Detect: cfg.Detect, MaxDepth: 1,
+	}
+	jobs := par.Jobs(cfg.Jobs)
+
+	type aRes struct {
+		prefix     []int
+		wr         *workRun
+		backtracks [][]int
+		pruned     uint64
+		err        error
+	}
+
+	seenSched := map[string]bool{}            // full schedules already crash-explored
+	queuedPrefix := map[string]bool{"": true} // prefixes ever frontiered
+	fpSet := map[uint64]bool{}
+	frontier := [][]int{nil}
+
+	for len(frontier) > 0 {
+		if cfg.MaxSchedules > 0 && rep.PrefixRuns+len(frontier) > cfg.MaxSchedules {
+			keep := cfg.MaxSchedules - rep.PrefixRuns
+			if keep < 0 {
+				keep = 0
+			}
+			frontier = frontier[:keep]
+			rep.Truncated = true
+			if keep == 0 {
+				break
+			}
+		}
+
+		// Phase A: execute and record every frontier prefix.
+		ares := make([]aRes, len(frontier))
+		par.Do(jobs, len(frontier), func(i int) {
+			wr, err := runWorkload(&cfg, frontier[i], 0, true)
+			if err != nil {
+				ares[i] = aRes{err: err}
+				return
+			}
+			bts, pruned := analyze(wr.tr)
+			// Candidate snapshots are only needed by analyze; drop them so
+			// retained traces cost one access per dispatch, not per candidate.
+			for k := range wr.tr.dispatches {
+				wr.tr.dispatches[k].cands = nil
+			}
+			ares[i] = aRes{prefix: frontier[i], wr: wr, backtracks: bts, pruned: pruned}
+		})
+
+		// Aggregate phase A in index order; collect novel schedules.
+		var novel []int
+		var next [][]int
+		for i := range ares {
+			a := &ares[i]
+			if a.err != nil {
+				return nil, a.err
+			}
+			rep.PrefixRuns++
+			rep.ChoicePoints += a.wr.tr.choicePts
+			rep.DPORPruned += a.pruned
+			if a.wr.diverged {
+				rep.Diverged++
+			}
+			for _, bt := range a.backtracks {
+				k := prefixKey(bt)
+				if !queuedPrefix[k] {
+					queuedPrefix[k] = true
+					rep.DPORBranches++
+					next = append(next, bt)
+				}
+			}
+			sk := prefixKey(a.wr.tr.schedule())
+			if seenSched[sk] {
+				a.wr = nil // duplicate execution: free the machine
+				continue
+			}
+			seenSched[sk] = true
+			novel = append(novel, i)
+		}
+
+		// Phase B: crash-explore each novel schedule.
+		bres := make([]bRes, len(novel))
+		par.Do(jobs, len(novel), func(k int) {
+			a := &ares[novel[k]]
+			bres[k] = exploreSchedule(&cfg, a.prefix, a.wr)
+		})
+		for k := range bres {
+			b := &bres[k]
+			if b.err != nil {
+				return nil, b.err
+			}
+			rep.CrashBranches += b.crashBranches
+			rep.MaskBranches += b.maskBranches
+			rep.CappedMasks += b.cappedMasks
+			rep.NestedBranches += b.nestedBranches
+			rep.Leaves += b.leaves
+			if b.maxDepth > rep.MaxDepth {
+				rep.MaxDepth = b.maxDepth
+			}
+			rep.Truncated = rep.Truncated || b.truncated
+			for _, fp := range b.fps {
+				fpSet[fp] = true
+			}
+			rep.Counterexamples = append(rep.Counterexamples, b.ces...)
+			ares[novel[k]].wr = nil
+		}
+
+		rep.Rounds++
+		if cfg.MaxRounds > 0 && rep.Rounds >= cfg.MaxRounds {
+			rep.UnexploredPrefixes = len(next)
+			next = nil
+		}
+		frontier = next
+	}
+
+	rep.Schedules = len(seenSched)
+	rep.DistinctStates = len(fpSet)
+	rep.Fingerprints = make([]string, 0, len(fpSet))
+	for fp := range fpSet {
+		rep.Fingerprints = append(rep.Fingerprints, fmt.Sprintf("%016x", fp))
+	}
+	sort.Strings(rep.Fingerprints)
+	rep.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return rep, nil
+}
+
+// exploreSchedule runs phase B for one recorded execution: the crash-free
+// completion leaf, then every (crash class x persist mask [x nested crash x
+// nested mask]) leaf reachable along it.
+func exploreSchedule(cfg *Config, prefix []int, wr *workRun) bRes {
+	out := bRes{maxDepth: 1}
+
+	// Completion leaf: no crash, so strict durable linearizability even for
+	// buffered constructions — completion must reflect every operation.
+	probed, perr := probeState(cfg, wr.d, wr.sys)
+	if perr != nil {
+		out.ces = append(out.ces, mkCE(cfg, "completion", prefix, wr.tr, 0, 0, 0, 0,
+			linearize.Result{Reason: perr.Error()}))
+	} else if res := adjudicate(cfg, wr.d, wr.rec, nil, probed, true); !res.OK {
+		out.ces = append(out.ces, mkCE(cfg, "completion", prefix, wr.tr, 0, 0, 0, 0, res))
+	}
+	out.leaves++
+
+	// Crash classes: one representative per equivalence class — the
+	// earliest point (1), one point just past each persist-relevant
+	// dispatch, and the quiescent crash just past the last event.
+	E := wr.sch.Events()
+	pts := make([]uint64, 0, len(wr.tr.crashPts)+2)
+	pts = append(pts, 1)
+	for _, n := range wr.tr.crashPts {
+		if n != pts[len(pts)-1] {
+			pts = append(pts, n)
+		}
+	}
+	if pts[len(pts)-1] < E+1 {
+		pts = append(pts, E+1)
+	}
+	pts, trunc := sampleUint64(pts, cfg.MaxCrashPoints)
+	out.truncated = out.truncated || trunc
+
+	for _, n := range pts {
+		cw, err := runWorkload(cfg, prefix, n, false)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		if !cw.sch.Frozen() {
+			// The quiescent class: the armed event never arrives, the
+			// workload completes, and the crash hits the idle machine.
+			cw.sch.CrashNow()
+		}
+		out.crashBranches++
+		masks, capped := maskList(cw.sys.PendingLines(), cfg.MaskBits)
+		if capped {
+			out.cappedMasks++
+			out.truncated = true
+		}
+		for _, mask := range masks {
+			out.maskBranches++
+			trace2 := cfg.Depth >= 2
+			rr, err := recoverOnce(cfg, cw.d, cw.sys, mask, 0, trace2)
+			out.leaves++
+			if err != nil {
+				// A recovery that hangs, errors, or panics is this leaf's
+				// verdict; the remaining branches still get explored.
+				out.ces = append(out.ces, mkCE(cfg, "crash", prefix, wr.tr, n, mask, 0, 0,
+					linearize.Result{Reason: err.Error()}))
+				continue
+			}
+			out.fps = append(out.fps, rr.fp)
+			if probed, perr := probeState(cfg, cw.d, rr.sys); perr != nil {
+				out.ces = append(out.ces, mkCE(cfg, "crash", prefix, wr.tr, n, mask, 0, 0,
+					linearize.Result{Reason: perr.Error()}))
+			} else if res := adjudicate(cfg, cw.d, cw.rec, rr.resolved, probed, false); !res.OK {
+				out.ces = append(out.ces, mkCE(cfg, "crash", prefix, wr.tr, n, mask, 0, 0, res))
+			}
+			if !trace2 {
+				continue
+			}
+
+			// Depth 2: crash the recovery itself at each of its
+			// persist-relevant points, then recover the wreckage.
+			nested := rr.nested
+			for len(nested) > 0 && nested[len(nested)-1] > rr.events {
+				nested = nested[:len(nested)-1]
+			}
+			nested, tr2 := sampleUint64(nested, cfg.MaxNested)
+			out.truncated = out.truncated || tr2
+			for _, n2 := range nested {
+				r1, err := recoverOnce(cfg, cw.d, cw.sys, mask, n2, false)
+				if err != nil {
+					// The nested arm was set but the recovery failed on its
+					// own (an error or panic before event n2).
+					out.nestedBranches++
+					out.ces = append(out.ces, mkCE(cfg, "crash", prefix, wr.tr, n, mask, n2, 0,
+						linearize.Result{Reason: err.Error()}))
+					continue
+				}
+				if !r1.frozen {
+					// Threshold past the recovery's last event: the nested
+					// crash never fired; the completed recovery is the
+					// depth-1 leaf already checked above.
+					continue
+				}
+				out.nestedBranches++
+				masks2, capped2 := maskList(r1.sys.PendingLines(), cfg.MaskBits)
+				if capped2 {
+					out.cappedMasks++
+					out.truncated = true
+				}
+				for _, m2 := range masks2 {
+					out.maskBranches++
+					fr, err := recoverOnce(cfg, cw.d, r1.sys, m2, 0, false)
+					out.leaves++
+					out.maxDepth = 2
+					if err != nil {
+						out.ces = append(out.ces,
+							mkCE(cfg, "crash", prefix, wr.tr, n, mask, n2, m2,
+								linearize.Result{Reason: err.Error()}))
+						continue
+					}
+					if probed2, perr := probeState(cfg, cw.d, fr.sys); perr != nil {
+						out.ces = append(out.ces,
+							mkCE(cfg, "crash", prefix, wr.tr, n, mask, n2, m2,
+								linearize.Result{Reason: perr.Error()}))
+					} else if res := adjudicate(cfg, cw.d, cw.rec, fr.resolved, probed2, false); !res.OK {
+						out.ces = append(out.ces,
+							mkCE(cfg, "crash", prefix, wr.tr, n, mask, n2, m2, res))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mkCE assembles one counterexample record. nestedAt == 0 means depth 1.
+func mkCE(cfg *Config, phase string, prefix []int, tr *runTrace,
+	crashAt, mask, nestedAt, nestedMask uint64, res linearize.Result) Counterexample {
+	ce := Counterexample{
+		System:    cfg.System,
+		Phase:     phase,
+		Schedule:  append([]int(nil), prefix...),
+		CrashAt:   crashAt,
+		Partition: res.FailedPartition,
+		Reason:    res.Reason,
+		Trace:     renderTrace(tr, crashAt),
+	}
+	if phase != "completion" {
+		ce.Mask = fmt.Sprintf("0x%x", mask)
+		if nestedAt != 0 {
+			ce.NestedAt = nestedAt
+			ce.NestedMask = fmt.Sprintf("0x%x", nestedMask)
+		}
+	}
+	ce.Repro = reproLine(cfg, &ce)
+	return ce
+}
+
+// reproLine renders the one-line prepexplore invocation replaying a leaf.
+func reproLine(cfg *Config, ce *Counterexample) string {
+	parts := []string{
+		"prepexplore",
+		"-system=" + cfg.System,
+		fmt.Sprintf("-workers=%d", cfg.Workers),
+		fmt.Sprintf("-ops=%d", cfg.Ops),
+		fmt.Sprintf("-seed=%d", cfg.Seed),
+	}
+	if cfg.Detect {
+		parts = append(parts, "-detect")
+	}
+	if cfg.PrefillN > 0 {
+		parts = append(parts, fmt.Sprintf("-prefill=%d", cfg.PrefillN))
+	}
+	if cfg.BGFlushOneIn > 0 {
+		parts = append(parts, fmt.Sprintf("-bg=%d", cfg.BGFlushOneIn))
+	}
+	// Machine sizing beyond the defaults changes which executions exist;
+	// spell it out so the line replays verbatim.
+	var def Config
+	def.defaults()
+	if cfg.Nodes != def.Nodes {
+		parts = append(parts, fmt.Sprintf("-nodes=%d", cfg.Nodes))
+	}
+	if cfg.Epsilon != def.Epsilon {
+		parts = append(parts, fmt.Sprintf("-eps=%d", cfg.Epsilon))
+	}
+	if cfg.LogSize != def.LogSize {
+		parts = append(parts, fmt.Sprintf("-log=%d", cfg.LogSize))
+	}
+	if cfg.HeapWords != def.HeapWords {
+		parts = append(parts, fmt.Sprintf("-heap=%d", cfg.HeapWords))
+	}
+	if cfg.MaxRunEvents != def.MaxRunEvents {
+		parts = append(parts, fmt.Sprintf("-max-events=%d", cfg.MaxRunEvents))
+	}
+	parts = append(parts, "-repro-schedule="+prefixKey(ce.Schedule))
+	if ce.Phase != "completion" {
+		parts = append(parts,
+			fmt.Sprintf("-repro-crash-at=%d", ce.CrashAt),
+			"-repro-mask="+ce.Mask)
+		if ce.NestedAt != 0 {
+			parts = append(parts,
+				fmt.Sprintf("-repro-nested-at=%d", ce.NestedAt),
+				"-repro-nested-mask="+ce.NestedMask)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Leaf names one leaf of the exploration tree for replay.
+type Leaf struct {
+	// Schedule is the forced dispatch prefix (nil = the root minimum-clock
+	// schedule).
+	Schedule []int
+	// CrashAt is the crash event threshold; 0 replays the crash-free
+	// completion leaf (Mask and the nested fields are then ignored).
+	CrashAt uint64
+	// Mask selects the persist-subset materialization.
+	Mask uint64
+	// NestedAt / NestedMask replay a depth-2 leaf (NestedAt 0 = depth 1).
+	NestedAt   uint64
+	NestedMask uint64
+}
+
+// Repro replays exactly one leaf and re-adjudicates it, returning the
+// verdict and (on failure) the counterexample record.
+func Repro(cfg Config, lf Leaf) (linearize.Result, *Counterexample, error) {
+	cfg.defaults()
+	wr, err := runWorkload(&cfg, lf.Schedule, lf.CrashAt, true)
+	if err != nil {
+		return linearize.Result{}, nil, err
+	}
+	// Leaf failures (hung/panicked recovery or probe) are verdicts, same as
+	// in Run.
+	fail := func(phase string, reason string) (linearize.Result, *Counterexample, error) {
+		res := linearize.Result{Reason: reason}
+		ce := mkCE(&cfg, phase, lf.Schedule, wr.tr, lf.CrashAt, lf.Mask, lf.NestedAt, lf.NestedMask, res)
+		return res, &ce, nil
+	}
+	if lf.CrashAt == 0 {
+		probed, perr := probeState(&cfg, wr.d, wr.sys)
+		if perr != nil {
+			return fail("completion", perr.Error())
+		}
+		res := adjudicate(&cfg, wr.d, wr.rec, nil, probed, true)
+		if res.OK {
+			return res, nil, nil
+		}
+		ce := mkCE(&cfg, "completion", lf.Schedule, wr.tr, 0, 0, 0, 0, res)
+		return res, &ce, nil
+	}
+	if !wr.sch.Frozen() {
+		wr.sch.CrashNow()
+	}
+	var rr *recRun
+	if lf.NestedAt != 0 {
+		r1, err := recoverOnce(&cfg, wr.d, wr.sys, lf.Mask, lf.NestedAt, false)
+		if err != nil {
+			return fail("crash", err.Error())
+		}
+		if !r1.frozen {
+			return linearize.Result{}, nil, fmt.Errorf(
+				"explore: nested crash at %d never fired (recovery ran %d events)",
+				lf.NestedAt, r1.events)
+		}
+		rr, err = recoverOnce(&cfg, wr.d, r1.sys, lf.NestedMask, 0, false)
+		if err != nil {
+			return fail("crash", err.Error())
+		}
+	} else {
+		rr, err = recoverOnce(&cfg, wr.d, wr.sys, lf.Mask, 0, false)
+		if err != nil {
+			return fail("crash", err.Error())
+		}
+	}
+	probed, perr := probeState(&cfg, wr.d, rr.sys)
+	if perr != nil {
+		return fail("crash", perr.Error())
+	}
+	res := adjudicate(&cfg, wr.d, wr.rec, rr.resolved, probed, false)
+	if res.OK {
+		return res, nil, nil
+	}
+	ce := mkCE(&cfg, "crash", lf.Schedule, wr.tr, lf.CrashAt, lf.Mask, lf.NestedAt, lf.NestedMask, res)
+	return res, &ce, nil
+}
+
+// StrideSweep is the sampling harness the explorer subsumes: it replays the
+// root (minimum-clock) schedule, crashes it at every stride-th event plus
+// the quiescent point, materializes each crash with the substrate's default
+// coin policy, and returns the post-materialization persisted fingerprint of
+// each point. Every fingerprint it can produce corresponds to some (crash
+// class, persist mask) leaf of Run on the same Config — the cross-check that
+// validates crash-class pruning (internal/harness).
+func StrideSweep(cfg Config, stride uint64) ([]uint64, error) {
+	cfg.defaults()
+	if stride == 0 {
+		stride = 1
+	}
+	wr0, err := runWorkload(&cfg, nil, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	E := wr0.sch.Events()
+	var fps []uint64
+	sweep := func(n uint64) error {
+		wr, err := runWorkload(&cfg, nil, n, false)
+		if err != nil {
+			return err
+		}
+		if !wr.sch.Frozen() {
+			wr.sch.CrashNow()
+		}
+		r := wr.sys.Recover(sim.New(cfg.Seed + 2))
+		fps = append(fps, r.PersistedFingerprint())
+		return nil
+	}
+	for n := uint64(1); n <= E; n += stride {
+		if err := sweep(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := sweep(E + 1); err != nil {
+		return nil, err
+	}
+	return fps, nil
+}

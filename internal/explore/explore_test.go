@@ -1,0 +1,229 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prepuc/internal/core"
+)
+
+// TestExploreSmallAllSystems is the tentpole acceptance run: for every
+// construction, exhaustively explore the 2-worker / 3-op configuration within
+// the declared bounds (DPOR delay bound 3, depth 1, all crash classes, all
+// persist masks). Every leaf must adjudicate clean, the DPOR reduction must
+// actually prune commuting branches, and no forced prefix may diverge.
+func TestExploreSmallAllSystems(t *testing.T) {
+	for _, sys := range Systems() {
+		sys := sys
+		t.Run(sys, func(t *testing.T) {
+			cfg := Config{System: sys, Workers: 2, Ops: 3}
+			if sys == "prep-buffered" {
+				// The persistence thread checkpoints once the completed tail
+				// reaches the flush boundary; at the default ε=8 a 3-op
+				// workload never gets there and every crash image is the boot
+				// image. ε=2 puts checkpoint cycles (the WBINVD / replica-swap
+				// crash windows) inside the explored workload.
+				cfg.Epsilon = 2
+			}
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Counterexamples) != 0 {
+				ce := rep.Counterexamples[0]
+				t.Fatalf("%d counterexamples; first: phase=%s reason=%q\nrepro: %s",
+					len(rep.Counterexamples), ce.Phase, ce.Reason, ce.Repro)
+			}
+			if rep.Schedules < 2 {
+				t.Errorf("schedules = %d, want >= 2 (DPOR found no interleavings?)", rep.Schedules)
+			}
+			if rep.DPORPruned == 0 {
+				t.Error("DPOR pruned nothing: the reduction is not engaging")
+			}
+			if rep.Diverged != 0 {
+				t.Errorf("diverged = %d, want 0: a mined prefix named a non-candidate", rep.Diverged)
+			}
+			if rep.CrashBranches == 0 || rep.Leaves <= rep.Schedules {
+				t.Errorf("crash space unexplored: crash=%d leaves=%d schedules=%d",
+					rep.CrashBranches, rep.Leaves, rep.Schedules)
+			}
+			if rep.Truncated {
+				t.Error("report truncated: a coverage cap bit at explorer scale")
+			}
+			if rep.DistinctStates < 2 {
+				t.Errorf("distinct states = %d, want >= 2 (crash images all identical?)",
+					rep.DistinctStates)
+			}
+			t.Logf("%s: %d schedules, %d crash branches, %d leaves, %d states, pruned %d, wall %.0fms",
+				sys, rep.Schedules, rep.CrashBranches, rep.Leaves,
+				rep.DistinctStates, rep.DPORPruned, rep.WallMS)
+		})
+	}
+}
+
+// TestExploreJobsInvariant pins the determinism contract: the JSON report is
+// byte-identical for -j 1 and -j 8 once the sole wall-time field is zeroed.
+func TestExploreJobsInvariant(t *testing.T) {
+	run := func(jobs int) []byte {
+		rep, err := Run(Config{System: "prep-durable", Workers: 2, Ops: 3,
+			MaxRounds: 2, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.WallMS = 0
+		b, err := json.MarshalIndent(rep, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(1), run(8)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("-j 1 and -j 8 reports differ:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", a, b)
+	}
+}
+
+// TestExploreDetect runs the detectable-execution adjudication path: crash-cut
+// operations must resolve to InFlightCommitted/InFlightNever from the
+// recovery's verdict map with zero counterexamples.
+func TestExploreDetect(t *testing.T) {
+	rep, err := Run(Config{System: "prep-durable", Workers: 2, Ops: 3,
+		MaxRounds: 2, Detect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counterexamples) != 0 {
+		ce := rep.Counterexamples[0]
+		t.Fatalf("detect mode: %d counterexamples; first: %q\nrepro: %s",
+			len(rep.Counterexamples), ce.Reason, ce.Repro)
+	}
+	if !rep.Detect {
+		t.Error("report does not record detect mode")
+	}
+}
+
+// TestExploreDepth2 checks that depth 2 actually reaches nested leaves:
+// crashes armed inside recovery runs must fire, and their re-recoveries must
+// adjudicate clean.
+func TestExploreDepth2(t *testing.T) {
+	rep, err := Run(Config{System: "prep-durable", Workers: 2, Ops: 2,
+		MaxRounds: 2, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counterexamples) != 0 {
+		ce := rep.Counterexamples[0]
+		t.Fatalf("depth 2: %d counterexamples; first: %q\nrepro: %s",
+			len(rep.Counterexamples), ce.Reason, ce.Repro)
+	}
+	if rep.NestedBranches == 0 || rep.MaxDepth != 2 {
+		t.Errorf("nested space unexplored: nested=%d maxDepth=%d",
+			rep.NestedBranches, rep.MaxDepth)
+	}
+}
+
+// mutationCfg is the explorer configuration that catches the pre-PR-2
+// in-place-replay recovery bug: background write-backs make replay-time
+// stores crash-branch points, prefilled state gives replay something to
+// corrupt, and depth 2 crashes the recovery mid-replay. MaxRunEvents is
+// tightened because the bug's signature is a recovery that never quiesces —
+// each hung leaf burns the full event guard.
+func mutationCfg() Config {
+	return Config{System: "prep-durable", Workers: 2, Ops: 3,
+		MaxRounds: 1, Depth: 2, BGFlushOneIn: 2, PrefillN: 2,
+		MaxRunEvents: 200_000}
+}
+
+// TestExploreCatchesInPlaceReplayMutation reintroduces the historical
+// recovery bug (replaying the log into the crashed heap in place instead of
+// into a private clone) behind core.DebugInPlaceReplay and requires the
+// explorer to find it with a replayable counterexample. The same
+// configuration with the mutation off must be clean — the bug is only
+// visible to systematic crash exploration, which is the point of the
+// explorer.
+func TestExploreCatchesInPlaceReplayMutation(t *testing.T) {
+	clean, err := Run(mutationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Counterexamples) != 0 {
+		t.Fatalf("control run (mutation off) found %d counterexamples; first: %q",
+			len(clean.Counterexamples), clean.Counterexamples[0].Reason)
+	}
+
+	core.DebugInPlaceReplay = true
+	defer func() { core.DebugInPlaceReplay = false }()
+	rep, err := Run(mutationCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counterexamples) == 0 {
+		t.Fatal("explorer missed the in-place-replay mutation")
+	}
+	ce := rep.Counterexamples[0]
+	t.Logf("caught: phase=%s crash=%d mask=%s nested=%d reason=%q",
+		ce.Phase, ce.CrashAt, ce.Mask, ce.NestedAt, ce.Reason)
+	t.Logf("repro: %s", ce.Repro)
+
+	// The counterexample must replay: feeding its four-tuple back through
+	// Repro re-fails with the mutation still armed.
+	lf := Leaf{Schedule: ce.Schedule, CrashAt: ce.CrashAt,
+		Mask: parseMask(t, ce.Mask), NestedAt: ce.NestedAt,
+		NestedMask: parseMask(t, ce.NestedMask)}
+	res, rce, err := Repro(mutationCfg(), lf)
+	if err != nil {
+		t.Fatalf("replay errored: %v", err)
+	}
+	if res.OK || rce == nil {
+		t.Fatalf("counterexample did not replay: ok=%v", res.OK)
+	}
+
+	// With the mutation reverted the same crash point must recover clean.
+	// The nested coordinates are dropped: they address an event inside the
+	// mutated recovery's execution, which the fixed recovery (a different,
+	// shorter execution) never reaches.
+	core.DebugInPlaceReplay = false
+	res, rce, err = Repro(mutationCfg(), Leaf{Schedule: ce.Schedule,
+		CrashAt: ce.CrashAt, Mask: parseMask(t, ce.Mask)})
+	if err != nil {
+		t.Fatalf("fixed replay errored: %v", err)
+	}
+	if !res.OK {
+		reason := res.Reason
+		if rce != nil {
+			reason = rce.Reason
+		}
+		t.Fatalf("leaf still fails with the mutation off: %q", reason)
+	}
+}
+
+func parseMask(t *testing.T, s string) uint64 {
+	t.Helper()
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 64)
+	if err != nil {
+		t.Fatalf("bad mask %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkExploreSmall is the wall-clock guard for the explorer: one full
+// depth-1 exploration of PREP-Durable at 2 workers x 2 ops with the delay
+// bound at 2. Tracked in BENCH_wallclock.json; CI fails on a >2x regression.
+func BenchmarkExploreSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Config{System: "prep-durable", Workers: 2, Ops: 2,
+			MaxRounds: 2, Jobs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Counterexamples) != 0 {
+			b.Fatalf("counterexamples: %d", len(rep.Counterexamples))
+		}
+	}
+}

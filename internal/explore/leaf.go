@@ -1,0 +1,334 @@
+package explore
+
+// Leaf machinery: booting and running one workload execution under a forced
+// schedule prefix, materializing crash branches (persist-subset masks, via
+// COW clones of the frozen machine), driving recovery chains — including a
+// nested crash inside recovery — and adjudicating every leaf against the
+// durable-linearizability checker.
+
+import (
+	"fmt"
+	"sort"
+
+	"prepuc/internal/fault"
+	"prepuc/internal/linearize"
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+// workRun is one workload execution: the machine, its driver binding, the
+// recorded invoke/response history, and (when recorded) the dispatch trace.
+type workRun struct {
+	d        *driver
+	sys      *nvm.System
+	sch      *sim.Scheduler
+	rec      *linearize.Recorder
+	tr       *runTrace // nil unless record
+	diverged bool
+}
+
+// ops returns the workload: a fixed mixed sequence over two keys (conflicting
+// writers, an overwrite, a delete) extended with per-index inserts beyond 4.
+// Operation i is executed by worker i % Workers, i-th in that worker's
+// program order; its detectable-execution invocation id is i+1.
+func (cfg *Config) ops() []uc.Op {
+	base := []uc.Op{
+		uc.Insert(1, 101),
+		uc.Insert(1, 202),
+		uc.Delete(1),
+		uc.Insert(2, 303),
+	}
+	out := make([]uc.Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		if i < len(base) {
+			out = append(out, base[i])
+		} else {
+			out = append(out, uc.Insert(2, uint64(400+i)))
+		}
+	}
+	return out
+}
+
+// prefill returns the boot-time prefill operations: PrefillN inserts on keys
+// disjoint from the workload's, durable before the workload starts (they form
+// the epoch's initial state and — for PREP — live only in the checkpointed
+// heap, outside log-replay's reach).
+func (cfg *Config) prefill() []uc.Op {
+	out := make([]uc.Op, 0, cfg.PrefillN)
+	for i := 0; i < cfg.PrefillN; i++ {
+		out = append(out, uc.Insert(uint64(100+i), uint64(1000+i)))
+	}
+	return out
+}
+
+// probeTargets lists every key the workload or prefill can touch, sorted.
+func (cfg *Config) probeTargets() []uint64 {
+	set := map[uint64]bool{}
+	for _, op := range cfg.ops() {
+		set[op.A0] = true
+	}
+	for _, op := range cfg.prefill() {
+		set[op.A0] = true
+	}
+	keys := make([]uint64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// runWorkload boots a fresh machine and executes the workload under the
+// forced dispatch prefix (minimum-clock beyond it), with a crash armed at
+// crashAt. crashAt = 0 runs to completion; a crashAt beyond the execution's
+// event horizon also completes, after which the caller may CrashNow for the
+// quiescent-crash branch. record additionally captures the dispatch trace
+// and the crash-class thresholds. The runaway guard catches workloads that
+// fail to quiesce (e.g. a misconfigured engine spinning forever).
+func runWorkload(cfg *Config, prefix []int, crashAt uint64, record bool) (*workRun, error) {
+	d, err := mkDriver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.Seed
+	tp := cfg.topology()
+
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: cfg.BGFlushOneIn, Seed: uint64(base) + 7,
+	})
+	var berr error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) { berr = d.boot(t, sys) })
+	bootSch.Run()
+	if berr != nil {
+		return nil, fmt.Errorf("explore: boot: %w", berr)
+	}
+
+	sch := sim.New(base + 1)
+	ch := &chooser{sch: sch, forced: prefix}
+	if record {
+		ch.rec = &runTrace{}
+		sys.SetAccessHook(ch.noteAccess)
+		sys.SetPersistEffectHook(func(int) { ch.rec.addCrashPoint(sch.Events() + 1) })
+	}
+	sch.SetChooser(ch)
+	if crashAt != 0 {
+		sch.CrashAtEvent(crashAt)
+	} else {
+		sch.CrashAtEvent(cfg.MaxRunEvents)
+	}
+	sys.SetScheduler(sch)
+
+	rec := linearize.NewRecorder(cfg.Workers)
+	ops := cfg.ops()
+	// The scheduler is cooperative (one goroutine holds the baton at a
+	// time), so a plain counter coordinates the aux-thread shutdown.
+	running := cfg.Workers
+	for tid := 0; tid < cfg.Workers; tid++ {
+		tid := tid
+		sch.Spawn("worker", tp.NodeOf(tid), 0, func(t *sim.Thread) {
+			defer func() {
+				if r := recover(); r != nil && !sim.Crashed(r) {
+					panic(r)
+				}
+			}()
+			for k := tid; k < len(ops); k += cfg.Workers {
+				op := ops[k]
+				if d.detect {
+					op.Invid = uint64(k + 1)
+				}
+				rec.Exec(t, tid, op, func() uint64 { return d.exec(t, tid, op) })
+			}
+			running--
+			if running == 0 && d.stopAux != nil {
+				d.stopAux(t)
+			}
+		})
+	}
+	if d.startAux != nil {
+		d.startAux()
+	}
+	sch.Run()
+	if record {
+		sys.SetAccessHook(nil)
+		sys.SetPersistEffectHook(nil)
+	}
+	if crashAt == 0 && sch.Frozen() {
+		return nil, fmt.Errorf("explore: %s workload did not quiesce within %d events",
+			d.name, cfg.MaxRunEvents)
+	}
+	return &workRun{d: d, sys: sys, sch: sch, rec: rec, tr: ch.rec, diverged: ch.diverged}, nil
+}
+
+// recRun is one recovery execution over a frozen machine's crash branch.
+type recRun struct {
+	sys      *nvm.System // the materialized system the recovery ran on
+	fp       uint64      // persisted fingerprint right after materialization
+	resolved map[uint64]uint64
+	frozen   bool     // a nested crash cut the recovery short
+	events   uint64   // recovery run's event count
+	nested   []uint64 // persist-relevant crash thresholds inside recovery (trace only)
+}
+
+// recoverOnce clones the frozen machine frozenSys, materializes its crash
+// under fault.Subset(mask), and runs the driver's recovery procedure on a
+// fresh scheduler (seeded deterministically so traced and replayed recovery
+// runs coincide). nestedAt > 0 arms a crash inside the recovery; trace
+// collects the recovery's own persist-relevant crash thresholds for depth-2
+// branching. The clone leaves frozenSys untouched, so one frozen machine
+// fans out across every mask and nested point.
+func recoverOnce(cfg *Config, d *driver, frozenSys *nvm.System, mask uint64,
+	nestedAt uint64, trace bool) (*recRun, error) {
+	aux := sim.New(cfg.Seed + 7777) // never run: the clone is immediately recovered
+	c := frozenSys.Clone(aux)
+	c.SetFaultPolicy(fault.Subset(mask))
+	recSch := sim.New(cfg.Seed + 2)
+	r := c.Recover(recSch)
+	out := &recRun{sys: r, fp: r.PersistedFingerprint()}
+	if trace {
+		addPt := func(n uint64) {
+			if len(out.nested) == 0 || out.nested[len(out.nested)-1] != n {
+				out.nested = append(out.nested, n)
+			}
+		}
+		r.SetAccessHook(func(a nvm.Access) {
+			if a.PersistEffect() {
+				addPt(recSch.Events() + 1)
+			}
+		})
+		r.SetPersistEffectHook(func(int) { addPt(recSch.Events() + 1) })
+	}
+	if nestedAt != 0 {
+		recSch.CrashAtEvent(nestedAt)
+	} else {
+		recSch.CrashAtEvent(cfg.MaxRunEvents)
+	}
+	var rerr error
+	recSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+		defer func() {
+			if rc := recover(); rc == nil || sim.Crashed(rc) {
+				return
+			} else if rerr == nil {
+				// A panic on corrupted state (e.g. a torn heap driving an
+				// allocator or structure walk out of bounds) is a recovery
+				// failure to report, not an explorer crash.
+				rerr = fmt.Errorf("recovery panicked: %v", rc)
+			}
+		}()
+		out.resolved, rerr = d.recov(t, r)
+	})
+	recSch.Run()
+	if trace {
+		r.SetAccessHook(nil)
+		r.SetPersistEffectHook(nil)
+	}
+	out.frozen = recSch.Frozen()
+	out.events = recSch.Events()
+	// Every failure mode of the recovery run itself — spinning forever on a
+	// corrupted structure, returning an error, panicking — is a *leaf
+	// verdict* (the protocol failed to recover this crash), reported as a
+	// counterexample by the caller, not an explorer failure.
+	if out.frozen && nestedAt == 0 {
+		return nil, fmt.Errorf("%s recovery did not quiesce within %d events",
+			d.name, cfg.MaxRunEvents)
+	}
+	if !out.frozen && rerr != nil {
+		return nil, fmt.Errorf("%s recovery failed: %w", d.name, rerr)
+	}
+	return out, nil
+}
+
+// probeState reads back the recovered (or live) state over the probe keys
+// on a fresh scheduler. A probe that spins forever or panics (a read walk
+// over a corrupted structure) is a leaf verdict like a failed recovery.
+func probeState(cfg *Config, d *driver, sys *nvm.System) (map[uint64]uint64, error) {
+	out := map[uint64]uint64{}
+	sch := sim.New(cfg.Seed + 900)
+	sys.SetScheduler(sch)
+	sch.CrashAtEvent(cfg.MaxRunEvents)
+	var perr error
+	sch.Spawn("probe", 0, 0, func(t *sim.Thread) {
+		defer func() {
+			if rc := recover(); rc == nil || sim.Crashed(rc) {
+				return
+			} else if perr == nil {
+				perr = fmt.Errorf("probe panicked: %v", rc)
+			}
+		}()
+		for _, k := range cfg.probeTargets() {
+			if v := d.get(t, k); v != uc.NotFound {
+				out[k] = v
+			}
+		}
+	})
+	sch.Run()
+	if sch.Frozen() {
+		return nil, fmt.Errorf("probe of recovered state did not quiesce within %d events",
+			cfg.MaxRunEvents)
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	return out, nil
+}
+
+// adjudicate checks one leaf: the recorded history (with crash-cut
+// operations resolved through detectable execution's verdict map when the
+// driver supports it), the prefill-derived initial state, and the probed
+// recovered state must admit a durable linearization — buffered durable with
+// the ε+β−1 allowance for PREP-Buffered unless strict is forced (the
+// crash-free completion leaf, where nothing may be lost).
+func adjudicate(cfg *Config, d *driver, rec *linearize.Recorder,
+	resolved map[uint64]uint64, probed map[uint64]uint64, strict bool) linearize.Result {
+	model := linearize.SetModel()
+	ops := rec.Ops()
+	if d.detect {
+		// Recorder groups ops by client in program order; operation j of
+		// worker w is global workload index w + j*Workers, invocation id
+		// index+1 (see Config.ops).
+		next := make(map[int]int, cfg.Workers)
+		for i := range ops {
+			j := next[ops[i].Client]
+			next[ops[i].Client] = j + 1
+			if ops[i].Class != linearize.InFlight {
+				continue
+			}
+			invid := uint64(ops[i].Client + j*cfg.Workers + 1)
+			if r, ok := resolved[invid]; ok {
+				ops[i].Class, ops[i].Result = linearize.InFlightCommitted, r
+			} else {
+				ops[i].Class = linearize.InFlightNever
+			}
+		}
+	}
+	opt := linearize.Options{}
+	if d.buffered && !strict {
+		opt = linearize.Options{Buffered: true, Allowance: d.allowance}
+	}
+	init := linearize.Replay(model, nil, cfg.prefill())
+	return linearize.CheckEpoch(model, init, ops, probed, opt)
+}
+
+// sampleUint64 evenly samples at most max values (0 = no cap), always
+// keeping the first and last, preserving order.
+func sampleUint64(vs []uint64, max int) ([]uint64, bool) {
+	if max <= 0 || len(vs) <= max {
+		return vs, false
+	}
+	if max == 1 {
+		return vs[:1], true
+	}
+	out := make([]uint64, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, vs[i*(len(vs)-1)/(max-1)])
+	}
+	// The even stride can repeat endpoints on tiny inputs; dedup keeps order.
+	ded := out[:1]
+	for _, v := range out[1:] {
+		if v != ded[len(ded)-1] {
+			ded = append(ded, v)
+		}
+	}
+	return ded, true
+}

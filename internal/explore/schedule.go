@@ -1,0 +1,367 @@
+package explore
+
+// Scheduling side of the explorer: the dispatch chooser that forces a branch
+// prefix and records the dispatch trace, and the DPOR analysis that mines a
+// recorded trace for the alternative prefixes worth exploring.
+//
+// Execution model (see nvm/trace.go): every memory-system operation
+// announces itself immediately before its cost Step, and its effect (the
+// data movement) runs when the announcing thread next resumes. So one
+// *dispatch* — one Choose decision — executes exactly one pending access:
+// the chosen thread's last announced one. The dispatch sequence therefore IS
+// the schedule, each entry carrying the access it executed and a snapshot of
+// what every other candidate would have executed instead — which is
+// precisely the co-enabled-transition information dynamic partial-order
+// reduction needs.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prepuc/internal/nvm"
+	"prepuc/internal/sim"
+)
+
+// candInfo is one dispatchable thread at a decision point, with the access
+// it had announced and would execute if chosen (hasAcc false: the thread
+// was between accesses — a pure compute step, which commutes with anything).
+type candInfo struct {
+	id     int
+	hasAcc bool
+	acc    nvm.Access
+}
+
+// dispatch is one recorded scheduling decision.
+type dispatch struct {
+	ev     uint64 // scheduler event counter at decision time
+	chosen int
+	hasAcc bool
+	acc    nvm.Access
+	cands  []candInfo
+}
+
+// runTrace accumulates one recorded execution.
+type runTrace struct {
+	dispatches []dispatch
+	// crashPts are the crash-point equivalence class thresholds, ascending
+	// and deduplicated: arming the scheduler crash at threshold n includes
+	// exactly the persist effects of dispatches recorded with ev < n, and no
+	// event between two consecutive thresholds changes the machine's crash
+	// image (persisted views, pending-set membership, or pending-line
+	// content) — so one crash per class covers every crash point.
+	crashPts  []uint64
+	choicePts uint64 // decisions offering >= 2 candidates
+}
+
+// addCrashPoint records threshold n (deduplicating the common same-threshold
+// case: thresholds are generated in ascending order).
+func (r *runTrace) addCrashPoint(n uint64) {
+	if len(r.crashPts) > 0 && r.crashPts[len(r.crashPts)-1] == n {
+		return
+	}
+	r.crashPts = append(r.crashPts, n)
+}
+
+// schedule renders the full dispatch sequence as its canonical key: the
+// chosen thread ids, comma-joined. Two runs with equal keys are the same
+// execution (the machine is deterministic given the dispatch sequence).
+func (r *runTrace) schedule() []int {
+	s := make([]int, len(r.dispatches))
+	for i := range r.dispatches {
+		s[i] = r.dispatches[i].chosen
+	}
+	return s
+}
+
+// prefixKey canonicalizes a forced-decision prefix for deduplication.
+func prefixKey(p []int) string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// chooser implements sim.Chooser: it forces a prefix of dispatch decisions,
+// then falls back to the built-in minimum-clock rule, optionally recording
+// the full dispatch trace. Determinism makes replay exact: re-running the
+// same machine with a prefix extracted from a recorded trace reproduces that
+// trace's dispatches verbatim up to (and past) the prefix.
+type chooser struct {
+	sch    *sim.Scheduler
+	forced []int
+	fi     int
+	rec    *runTrace // nil: replay-only, no recording
+	// pend[id] is thread id's announced-but-unexecuted access; pendSet[id]
+	// false means the thread is between accesses (its next dispatch is pure
+	// compute). Fed by the system's access hook, consumed at dispatch.
+	pend     []nvm.Access
+	pendSet  []bool
+	diverged bool // a forced decision named a non-candidate thread
+}
+
+// noteAccess is the nvm access-hook target: thread a.Thread announced a and
+// will execute it when next dispatched.
+func (c *chooser) noteAccess(a nvm.Access) {
+	c.grow(a.Thread)
+	c.pend[a.Thread] = a
+	c.pendSet[a.Thread] = true
+}
+
+func (c *chooser) grow(id int) {
+	for len(c.pend) <= id {
+		c.pend = append(c.pend, nvm.Access{})
+		c.pendSet = append(c.pendSet, false)
+	}
+}
+
+func (c *chooser) Choose(caller int, cands []sim.Candidate) int {
+	pick := -1
+	if c.fi < len(c.forced) {
+		want := c.forced[c.fi]
+		c.fi++
+		for i := range cands {
+			if cands[i].ID == want {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// The forced thread is not dispatchable here: the prefix was
+			// mined from a different execution (an explorer bug, surfaced
+			// as a Diverged count rather than a deadlock).
+			c.diverged = true
+			pick = sim.MinClock(cands)
+		}
+	} else {
+		pick = sim.MinClock(cands)
+	}
+	id := cands[pick].ID
+	c.grow(id)
+	if c.rec != nil {
+		d := dispatch{ev: c.sch.Events(), chosen: id}
+		if c.pendSet[id] {
+			d.hasAcc, d.acc = true, c.pend[id]
+		}
+		if len(cands) >= 2 {
+			c.rec.choicePts++
+		}
+		d.cands = make([]candInfo, len(cands))
+		for i, cd := range cands {
+			ci := candInfo{id: cd.ID}
+			if cd.ID < len(c.pendSet) && c.pendSet[cd.ID] {
+				ci.hasAcc, ci.acc = true, c.pend[cd.ID]
+			}
+			d.cands[i] = ci
+		}
+		c.rec.dispatches = append(c.rec.dispatches, d)
+		if d.hasAcc && d.acc.PersistEffect() {
+			// The chosen access's effect executes before the next event is
+			// announced, so the first crash point that includes it is ev+1.
+			c.rec.addCrashPoint(c.sch.Events() + 1)
+		}
+	}
+	// Consumed: when this thread next appears at a decision point it either
+	// announced a fresh access (hook re-arms pendSet) or is mid-compute.
+	c.pendSet[id] = false
+	return pick
+}
+
+// conflicts reports whether two accesses do not commute: executing them in
+// either order can differ in machine state, schedule, or crash image. It is
+// DPOR's dependence relation; over-approximation is sound (more branches),
+// under-approximation is not.
+func conflicts(a, b nvm.Access) bool {
+	// Word/line-addressed accesses interact only on the same memory line.
+	aLine := a.Line != nvm.NoLine && a.Kind != nvm.AccFlushRegion
+	bLine := b.Line != nvm.NoLine && b.Kind != nvm.AccFlushRegion
+	if aLine && bLine {
+		if a.Mem != b.Mem || a.Line != b.Line {
+			return false
+		}
+		switch {
+		case a.Kind == nvm.AccLoad && b.Kind == nvm.AccLoad:
+			return false // load-load always commutes
+		case isFlushKind(a.Kind) && b.Kind == nvm.AccLoad,
+			a.Kind == nvm.AccLoad && isFlushKind(b.Kind):
+			return false // flushes move data to media, loads read the cache view
+		case a.Kind == nvm.AccFlush && b.Kind == nvm.AccFlush:
+			// Two async flushes of one line track into their own flushers
+			// regardless of order; neither clears the dirty bit.
+			return false
+		}
+		return true
+	}
+	// Bulk operations: fences drain the issuing thread's pending set,
+	// region/machine flushes persist dirty lines wholesale. Conservatively
+	// dependent with any NVM mutation or persist operation (they commute
+	// with loads and with all volatile traffic).
+	bulk, other := a, b
+	if bLine && !aLine {
+		bulk, other = a, b
+	} else if aLine && !bLine {
+		bulk, other = b, a
+	} else {
+		// bulk vs bulk: dependent unless both are fences of different
+		// threads with... order still matters for pending drain vs WBINVD;
+		// keep it dependent. Rare enough not to matter.
+		return a.NVM && b.NVM
+	}
+	if !bulk.NVM || !other.NVM {
+		return false
+	}
+	if other.Kind == nvm.AccLoad {
+		return false
+	}
+	if bulk.Kind != nvm.AccWBINVD && bulk.Mem != "" && other.Mem != bulk.Mem {
+		return false
+	}
+	return true
+}
+
+func isFlushKind(k nvm.AccessKind) bool {
+	return k == nvm.AccFlush || k == nvm.AccFlushSync
+}
+
+// analyze mines a recorded trace for DPOR backtrack prefixes, in the style
+// of Flanagan & Godefroid: for each dispatch j executing access a_j by
+// thread q, find the latest earlier dispatch i by a different thread whose
+// access conflicts with a_j; the schedule where q's access executes before
+// dispatch i belongs to a different Mazurkiewicz class, so the prefix
+// (decisions before i) + [q] is queued for exploration. If q was not a
+// candidate at i, every candidate at i is queued instead (the conservative
+// fallback of the original algorithm). pruned counts the commuting
+// co-enabled alternatives that provably need no branch — the reduction.
+func analyze(tr *runTrace) (backtracks [][]int, pruned uint64) {
+	ds := tr.dispatches
+	for j := range ds {
+		dj := &ds[j]
+		if !dj.hasAcc {
+			continue
+		}
+		// Count the reduction at this decision point: co-enabled candidate
+		// accesses that commute with the chosen one.
+		for _, ci := range dj.cands {
+			if ci.id == dj.chosen {
+				continue
+			}
+			if !ci.hasAcc || !conflicts(ci.acc, dj.acc) {
+				pruned++
+			}
+		}
+		last := -1
+		for i := j - 1; i >= 0; i-- {
+			di := &ds[i]
+			if di.chosen == dj.chosen || !di.hasAcc {
+				continue
+			}
+			if conflicts(di.acc, dj.acc) {
+				last = i
+				break
+			}
+		}
+		if last < 0 {
+			continue
+		}
+		di := &ds[last]
+		qPresent := false
+		for _, ci := range di.cands {
+			if ci.id == dj.chosen {
+				qPresent = true
+				break
+			}
+		}
+		prefix := make([]int, last, last+1)
+		for k := 0; k < last; k++ {
+			prefix[k] = ds[k].chosen
+		}
+		if qPresent {
+			if dj.chosen != di.chosen {
+				backtracks = append(backtracks, append(prefix, dj.chosen))
+			}
+		} else {
+			for _, ci := range di.cands {
+				if ci.id == di.chosen {
+					continue
+				}
+				p := make([]int, len(prefix), len(prefix)+1)
+				copy(p, prefix)
+				backtracks = append(backtracks, append(p, ci.id))
+			}
+		}
+	}
+	return backtracks, pruned
+}
+
+// renderTrace formats the dispatches up to (exclusive) crash threshold n as
+// counterexample evidence: one line per dispatch, oldest first.
+func renderTrace(tr *runTrace, n uint64) []string {
+	var out []string
+	for i := range tr.dispatches {
+		d := &tr.dispatches[i]
+		if n != 0 && d.ev >= n {
+			break
+		}
+		if !d.hasAcc {
+			out = append(out, fmt.Sprintf("d%-4d ev=%-5d t%d compute", i, d.ev, d.chosen))
+			continue
+		}
+		loc := d.acc.Mem
+		if d.acc.Line != nvm.NoLine {
+			loc = fmt.Sprintf("%s:%d", d.acc.Mem, d.acc.Line)
+		}
+		mark := ""
+		if d.acc.PersistEffect() {
+			mark = " [persist]"
+		}
+		out = append(out, fmt.Sprintf("d%-4d ev=%-5d t%d %s %s%s",
+			i, d.ev, d.chosen, d.acc.Kind, loc, mark))
+	}
+	return out
+}
+
+// maskList enumerates the persist masks to branch on for a crash with
+// pending lines: all 2^pending when pending <= maxBits, else a capped
+// adversarial set (all, none, each single line dropped, each single line
+// kept). The second return reports whether the set was capped.
+func maskList(pending, maxBits int) ([]uint64, bool) {
+	if pending == 0 {
+		return []uint64{0}, false
+	}
+	if pending <= maxBits {
+		n := uint64(1) << uint(pending)
+		out := make([]uint64, 0, n)
+		for m := uint64(0); m < n; m++ {
+			out = append(out, m)
+		}
+		return out, false
+	}
+	if pending > 64 {
+		pending = 64
+	}
+	all := ^uint64(0)
+	if pending < 64 {
+		all = (uint64(1) << uint(pending)) - 1
+	}
+	seen := map[uint64]bool{}
+	var out []uint64
+	add := func(m uint64) {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	add(all)
+	add(0)
+	for i := 0; i < pending; i++ {
+		add(all &^ (uint64(1) << uint(i)))
+		add(uint64(1) << uint(i))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}

@@ -132,6 +132,31 @@ func (p *targeted) BeginCrash(pending int) {
 
 func (p *targeted) PersistPending(i int) bool { return i != p.drop }
 
+// subsetMax is the widest pending set Subset can decide exactly: one bit
+// per pending line in a uint64 mask.
+const subsetMax = 64
+
+type subset struct{ mask uint64 }
+
+// Subset returns the policy that persists exactly the pending lines whose
+// bit is set in mask (pending line i persists iff mask>>i&1 == 1). It is the
+// exhaustive explorer's adversary: enumerating every mask over an n-line
+// pending set visits all 2^n crash materializations, subsuming PersistAll
+// (all bits set), DropAll (zero), and every Targeted single-drop state.
+// Stateless, so one value may be shared across machines; crashes with more
+// than 64 pending lines panic rather than silently truncate the enumeration.
+func Subset(mask uint64) Policy { return subset{mask: mask} }
+
+func (s subset) Name() string { return fmt.Sprintf("subset=%#x", s.mask) }
+
+func (s subset) BeginCrash(pending int) {
+	if pending > subsetMax {
+		panic(fmt.Sprintf("fault: Subset mask covers %d lines, crash has %d pending", subsetMax, pending))
+	}
+}
+
+func (s subset) PersistPending(i int) bool { return s.mask>>i&1 == 1 }
+
 // Parse resolves a policy by its CLI spelling:
 //
 //	""             nil (the substrate's built-in fair coin)
@@ -141,6 +166,7 @@ func (p *targeted) PersistPending(i int) bool { return i != p.drop }
 //	"coinflip=P"   CoinFlip(P, seed), P a float in [0,1]
 //	"targeted"     Targeted(0)
 //	"targeted=K"   Targeted(K), starting the drop sweep at pending index K
+//	"subset=M"     Subset(M), M the persist bitmask (decimal, or 0x... hex)
 func Parse(spec string, seed uint64) (Policy, error) {
 	name, arg, hasArg := strings.Cut(spec, "=")
 	switch name {
@@ -170,7 +196,16 @@ func Parse(spec string, seed uint64) (Policy, error) {
 			first = v
 		}
 		return Targeted(first), nil
+	case "subset":
+		if !hasArg {
+			return nil, fmt.Errorf("fault: subset requires a mask (subset=M)")
+		}
+		mask, err := strconv.ParseUint(arg, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad subset mask %q", arg)
+		}
+		return Subset(mask), nil
 	default:
-		return nil, fmt.Errorf("fault: unknown policy %q (want dropall, persistall, coinflip[=p] or targeted[=k])", spec)
+		return nil, fmt.Errorf("fault: unknown policy %q (want dropall, persistall, coinflip[=p], targeted[=k] or subset=m)", spec)
 	}
 }

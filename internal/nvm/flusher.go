@@ -59,6 +59,7 @@ func (f *Flusher) FlushLine(t *sim.Thread, m *Memory, off uint64) {
 	line := off / WordsPerLine
 	p := pendingFlush{m, line}
 	track := m.dstate.load(line)&lineDirty != 0 && f.seen[p] != f.gen
+	m.announce(t, AccFlush, line, track)
 	if f.sys.elide {
 		f.sys.met.FlushElisionChecks++
 		if !track {
@@ -93,6 +94,7 @@ func (f *Flusher) FlushLineSync(t *sim.Thread, m *Memory, off uint64) {
 	line := off / WordsPerLine
 	p := pendingFlush{m, line}
 	dirty := m.dstate.load(line)&lineDirty != 0
+	m.announce(t, AccFlushSync, line, false)
 	if f.sys.elide && !dirty {
 		f.sys.met.FlushElisionChecks++
 		t.Step(f.sys.costs.FlushCheck)
@@ -133,6 +135,7 @@ func (f *Flusher) dropPending(p pendingFlush) {
 // Fence executes an SFENCE: every line previously issued through FlushLine
 // on this flusher is persisted before Fence returns.
 func (f *Flusher) Fence(t *sim.Thread) {
+	f.sys.announce(Access{Thread: t.ID(), Kind: AccFence, Mem: "", Line: NoLine, NVM: true})
 	n := uint64(len(f.pending))
 	t.Step(f.sys.costs.Fence + f.sys.costs.FencePerPending*n)
 	f.sys.fences++

@@ -150,6 +150,10 @@ type System struct {
 	// and engine events all record into it. Increments are host-side only
 	// and cost no virtual time (see package metrics).
 	met *metrics.Registry
+	// accHook / peHook are the exhaustive explorer's event taps (see
+	// trace.go). Both nil outside exploration; neither costs virtual time.
+	accHook func(Access)
+	peHook  func(thread int)
 }
 
 // Config parameterizes a System.
@@ -352,6 +356,7 @@ func (m *Memory) storeCost(t *sim.Thread, line uint64) uint64 {
 
 // Load reads the word at off.
 func (m *Memory) Load(t *sim.Thread, off uint64) uint64 {
+	m.announce(t, AccLoad, off/WordsPerLine, false)
 	t.Step(m.loadCost(t, off/WordsPerLine))
 	m.stats.Loads++
 	m.sys.met.Loads++
@@ -375,24 +380,45 @@ func (m *Memory) markDirty(line uint64) {
 // containing line and may trigger a background write-back.
 func (m *Memory) Store(t *sim.Thread, off uint64, v uint64) {
 	line := off / WordsPerLine
+	m.announce(t, AccStore, line, false)
 	t.Step(m.storeCost(t, line))
 	m.stats.Stores++
 	m.sys.met.Stores++
 	m.data.store(off, v)
 	if m.kind == NVM {
 		m.markDirty(line)
-		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
+		bg := m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0
+		if bg {
 			m.persistLine(line)
 			m.stats.BGFlushes++
 			m.sys.met.BGFlushes++
 		}
+		if h := m.sys.peHook; h != nil && (bg || m.linePending(line)) {
+			h(t.ID())
+		}
 	}
+}
+
+// linePending reports whether the line sits in some flusher's pending set. A
+// store to such a line is persist-relevant even without a background
+// write-back: the pending entry persists the line's content as of the crash,
+// not as of the flush, so the store changes what a crash materializes. Only
+// consulted when the explorer's persist-effect hook is installed.
+func (m *Memory) linePending(line uint64) bool {
+	p := pendingFlush{m, line}
+	for _, f := range m.sys.flushers {
+		if f.seen[p] == f.gen {
+			return true
+		}
+	}
+	return false
 }
 
 // CAS atomically compares and swaps the word at off. Failed CASes still
 // acquire the line exclusively, as on real hardware.
 func (m *Memory) CAS(t *sim.Thread, off, old, new uint64) bool {
 	line := off / WordsPerLine
+	m.announce(t, AccCAS, line, false)
 	t.Step(m.storeCost(t, line))
 	m.stats.CASes++
 	m.sys.met.CASes++
@@ -402,10 +428,14 @@ func (m *Memory) CAS(t *sim.Thread, off, old, new uint64) bool {
 	m.data.store(off, new)
 	if m.kind == NVM {
 		m.markDirty(line)
-		if m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0 {
+		bg := m.sys.bgProb != 0 && m.nextBG()%m.sys.bgProb == 0
+		if bg {
 			m.persistLine(line)
 			m.stats.BGFlushes++
 			m.sys.met.BGFlushes++
+		}
+		if h := m.sys.peHook; h != nil && (bg || m.linePending(line)) {
+			h(t.ID())
 		}
 	}
 	return true
@@ -515,6 +545,7 @@ func (m *Memory) FlushRegion(t *sim.Thread, from, to uint64) {
 	if m.kind != NVM {
 		panic("nvm: FlushRegion on volatile memory " + m.name)
 	}
+	m.announce(t, AccFlushRegion, NoLine, false)
 	if to > m.Words() {
 		to = m.Words()
 	}
@@ -583,6 +614,7 @@ func (m *Memory) FlushAllDirty(t *sim.Thread) {
 	if m.kind != NVM {
 		panic("nvm: FlushAllDirty on volatile memory " + m.name)
 	}
+	m.announce(t, AccFlushAllDirty, NoLine, false)
 	lines := m.DirtyLines()
 	t.Step(m.sys.costs.FlushLine*lines + m.sys.costs.Fence + m.sys.costs.FencePerPending*lines)
 	m.sys.fences++
@@ -600,6 +632,7 @@ func (m *Memory) FlushAllDirty(t *sim.Thread) {
 // memories it writes, which the caller passes here. Cost is a large fixed
 // base plus a per-line charge.
 func (s *System) WBINVD(t *sim.Thread, mems ...*Memory) {
+	s.announce(Access{Thread: t.ID(), Kind: AccWBINVD, Mem: "", Line: NoLine, NVM: true})
 	var lines uint64
 	for _, m := range mems {
 		if m.kind != NVM {

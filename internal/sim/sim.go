@@ -116,6 +116,13 @@ type Scheduler struct {
 	events  uint64
 	frozen  bool
 	crashAt uint64 // event index at which to freeze; 0 = never
+
+	// chooser, when non-nil, replaces the minimum-(clock,id) dispatch rule:
+	// every dispatch decision is delegated to it. cands/cview are the reused
+	// candidate scratch buffers.
+	chooser Chooser
+	cands   []*Thread
+	cview   []Candidate
 }
 
 // New creates a scheduler. The seed determines every per-thread random
@@ -144,6 +151,94 @@ func (s *Scheduler) SetRunAhead(on bool) {
 // RunAhead reports whether the run-ahead fast path is enabled.
 func (s *Scheduler) RunAhead() bool { return s.runahead }
 
+// Candidate describes one dispatchable thread at a scheduling decision
+// point, in the canonical (ascending thread id) candidate order.
+type Candidate struct {
+	ID    int
+	Clock uint64
+}
+
+// Chooser overrides the scheduler's dispatch rule. At every decision point —
+// each Step, the initial dispatch of Run, and each thread exit — Choose
+// receives the dispatchable threads in ascending-id order and returns the
+// index of the one to run next. caller is the id of the thread currently
+// inside Step (it is itself a candidate: choosing it means "keep running"),
+// or -1 for dispatches where no thread is mid-Step (Run's first dispatch and
+// exit handoffs).
+//
+// A Chooser makes the schedule entirely its own responsibility: the built-in
+// rule's fairness (minimum virtual clock first) is what lets spin loops
+// terminate, so a chooser that starves a lock holder can livelock the
+// simulation. Choosers that only want to force a prefix of decisions should
+// fall back to MinClock for the rest. Choose runs on the baton holder's
+// goroutine and must be deterministic; the candidate slice is reused across
+// calls and must not be retained.
+type Chooser interface {
+	Choose(caller int, cands []Candidate) int
+}
+
+// SetChooser installs (or, with nil, removes) a dispatch chooser. Call only
+// before Run. While a chooser is installed the run-ahead fast path is
+// bypassed: every Step is a full decision point.
+func (s *Scheduler) SetChooser(c Chooser) {
+	if s.started {
+		panic("sim: SetChooser after Run")
+	}
+	s.chooser = c
+}
+
+// MinClock returns the index of the minimum-(clock,id) candidate: the
+// decision the built-in dispatch rule would take. Choosers use it as their
+// fallback once their forced prefix is exhausted.
+func MinClock(cands []Candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Clock < cands[best].Clock ||
+			(cands[i].Clock == cands[best].Clock && cands[i].ID < cands[best].ID) {
+			best = i
+		}
+	}
+	return best
+}
+
+// chooseNext delegates one dispatch decision to the installed chooser.
+// caller is the thread currently inside Step, or nil for Run/exit handoffs
+// where every dispatchable thread is in the heap. It returns the chosen
+// thread, already removed from the heap if it came from there; if the caller
+// itself is chosen it is returned as-is.
+func (s *Scheduler) chooseNext(caller *Thread) *Thread {
+	s.cands = s.cands[:0]
+	if caller != nil {
+		s.cands = append(s.cands, caller)
+	}
+	s.cands = append(s.cands, s.heap.ts...)
+	// Canonical ascending-id order (insertion sort: the set is small). Heap
+	// array order is deterministic but an implementation detail; id order is
+	// the stable contract choosers and traces key on.
+	for i := 1; i < len(s.cands); i++ {
+		for j := i; j > 0 && s.cands[j].id < s.cands[j-1].id; j-- {
+			s.cands[j], s.cands[j-1] = s.cands[j-1], s.cands[j]
+		}
+	}
+	s.cview = s.cview[:0]
+	for _, t := range s.cands {
+		s.cview = append(s.cview, Candidate{ID: t.id, Clock: t.clock})
+	}
+	callerID := -1
+	if caller != nil {
+		callerID = caller.id
+	}
+	idx := s.chooser.Choose(callerID, s.cview)
+	if idx < 0 || idx >= len(s.cands) {
+		panic(fmt.Sprintf("sim: chooser returned index %d of %d candidates", idx, len(s.cands)))
+	}
+	next := s.cands[idx]
+	if next != caller {
+		s.heap.remove(next)
+	}
+	return next
+}
+
 // Events returns the number of Step calls executed so far. Like Frozen, it
 // must be read from a quiescent scheduler or the baton holder.
 func (s *Scheduler) Events() uint64 { return s.events }
@@ -151,18 +246,33 @@ func (s *Scheduler) Events() uint64 { return s.events }
 // CrashAtEvent arranges for the system to freeze at the given global event
 // index (1-based). It may be set at any time before the event fires. A value
 // of 0 disables crashing.
-func (s *Scheduler) CrashAtEvent(n uint64) { s.crashAt = n }
+//
+// Arming is last-wins: a crash already armed (by CrashAtEvent or CrashAfter)
+// is silently replaced. The previously armed absolute event index is
+// returned (0 = none was armed) so harnesses that stack adversaries — the
+// exhaustive explorer arms one crash per branch on schedulers it may reuse —
+// can detect, restore, or assert on an arm they would otherwise clobber.
+func (s *Scheduler) CrashAtEvent(n uint64) (prev uint64) {
+	prev = s.crashAt
+	s.crashAt = n
+	return prev
+}
 
 // CrashAfter arms a crash n events from now. Harnesses use it to place a
 // crash inside a phase whose absolute event index is unknown in advance —
 // most importantly inside a recovery run, exercising crash-during-recovery
 // schedules. n must be at least 1; 0 disables crashing.
-func (s *Scheduler) CrashAfter(n uint64) {
+//
+// Like CrashAtEvent, arming is last-wins and the previously armed absolute
+// event index is returned (0 = none).
+func (s *Scheduler) CrashAfter(n uint64) (prev uint64) {
+	prev = s.crashAt
 	if n == 0 {
 		s.crashAt = 0
-		return
+		return prev
 	}
 	s.crashAt = s.events + n
+	return prev
 }
 
 // Frozen reports whether the system has crashed. Call it from the host only
@@ -217,7 +327,12 @@ func (s *Scheduler) Run() {
 	if s.live == 0 {
 		return
 	}
-	next := s.heap.popMin()
+	var next *Thread
+	if s.chooser != nil {
+		next = s.chooseNext(nil)
+	} else {
+		next = s.heap.popMin()
+	}
 	next.state = running
 	next.wake <- struct{}{}
 	<-s.allDone
@@ -248,6 +363,17 @@ func (t *Thread) Step(cost uint64) {
 	}
 	if s.frozen {
 		panic(Crash{})
+	}
+	if s.chooser != nil {
+		next := s.chooseNext(t)
+		if next == t {
+			return
+		}
+		s.heap.push(t)
+		next.state = running
+		t.state = ready
+		s.park(t, next)
+		return
 	}
 	if s.runahead {
 		if len(s.heap.ts) == 0 || !s.heap.ts[0].less(t) {
@@ -294,7 +420,12 @@ func (s *Scheduler) exit(t *Thread) {
 		// because Step always re-enqueues before blocking. Treat as a bug.
 		panic("sim: no runnable thread but live threads remain")
 	}
-	next := s.heap.popMin()
+	var next *Thread
+	if s.chooser != nil {
+		next = s.chooseNext(nil)
+	} else {
+		next = s.heap.popMin()
+	}
 	next.state = running
 	next.wake <- struct{}{}
 }
@@ -349,6 +480,41 @@ func (h *threadHeap) replaceMin(t *Thread) *Thread {
 	h.ts[0] = t
 	h.down(0)
 	return min
+}
+
+// remove deletes an arbitrary thread from the heap (the chooser's dispatch
+// picks threads that are not the minimum). The vacated slot is refilled with
+// the last element, which is then sifted in both directions. O(n) for the
+// scan; the heap holds at most the thread count, which is tiny.
+func (h *threadHeap) remove(t *Thread) {
+	ts := h.ts
+	for i, u := range ts {
+		if u != t {
+			continue
+		}
+		n := len(ts) - 1
+		ts[i] = ts[n]
+		ts[n] = nil
+		h.ts = ts[:n]
+		if i < n {
+			h.up(i)
+			h.down(i)
+		}
+		return
+	}
+	panic("sim: remove of thread not in heap")
+}
+
+func (h *threadHeap) up(i int) {
+	ts := h.ts
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ts[i].less(ts[parent]) {
+			break
+		}
+		ts[i], ts[parent] = ts[parent], ts[i]
+		i = parent
+	}
 }
 
 func (h *threadHeap) down(i int) {

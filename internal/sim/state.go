@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ThreadState is one thread's dispatch bookkeeping inside a SchedState.
+type ThreadState struct {
+	ID    int
+	Clock uint64
+}
+
+// SchedState is a snapshot of the scheduler's dispatch state: the event
+// counter, the armed crash point, the freeze flag, the run-ahead setting,
+// and the ready heap's exact array arrangement. It captures everything the
+// dispatcher consults — restoring it onto a scheduler with identically
+// spawned threads reproduces the identical dispatch sequence — but not
+// goroutine stacks: mid-run thread continuations cannot be snapshotted, so
+// branching explorers re-execute from the start under a forced schedule and
+// use SchedState to pin that the re-executed machine's scheduler is
+// byte-identical to the recorded one.
+type SchedState struct {
+	Events   uint64
+	CrashAt  uint64
+	Frozen   bool
+	RunAhead bool
+	// Heap is the ready heap's backing array in storage order. Before Run
+	// every spawned thread is ready, so this is the full thread set; from a
+	// baton holder it is every thread except the caller.
+	Heap []ThreadState
+}
+
+// CaptureState snapshots the scheduler's dispatch state. Like the other
+// control methods it must be called from the host while the scheduler is
+// quiescent, or from the baton holder.
+func (s *Scheduler) CaptureState() SchedState {
+	st := SchedState{
+		Events:   s.events,
+		CrashAt:  s.crashAt,
+		Frozen:   s.frozen,
+		RunAhead: s.runahead,
+		Heap:     make([]ThreadState, len(s.heap.ts)),
+	}
+	for i, t := range s.heap.ts {
+		st.Heap[i] = ThreadState{ID: t.id, Clock: t.clock}
+	}
+	return st
+}
+
+// RestoreState overwrites the scheduler's dispatch state with a snapshot
+// taken from a scheduler with the same spawned thread set. It may only be
+// called before Run (when every spawned thread is still ready, so thread
+// continuations carry no state beyond their clock): the snapshot's heap
+// entries must name exactly the spawned threads. After a successful restore,
+// CaptureState returns a snapshot whose Encode is byte-identical to the
+// input's.
+func (s *Scheduler) RestoreState(st SchedState) error {
+	if s.started {
+		return fmt.Errorf("sim: RestoreState after Run")
+	}
+	if len(st.Heap) != len(s.heap.ts) {
+		return fmt.Errorf("sim: RestoreState: snapshot has %d threads, scheduler has %d",
+			len(st.Heap), len(s.heap.ts))
+	}
+	byID := make(map[int]*Thread, len(s.heap.ts))
+	for _, t := range s.heap.ts {
+		byID[t.id] = t
+	}
+	ts := make([]*Thread, len(st.Heap))
+	for i, e := range st.Heap {
+		t, ok := byID[e.ID]
+		if !ok {
+			return fmt.Errorf("sim: RestoreState: snapshot thread id %d not spawned", e.ID)
+		}
+		if ts[i] != nil || func() bool { // duplicate id in snapshot
+			for j := 0; j < i; j++ {
+				if st.Heap[j].ID == e.ID {
+					return true
+				}
+			}
+			return false
+		}() {
+			return fmt.Errorf("sim: RestoreState: duplicate thread id %d in snapshot", e.ID)
+		}
+		t.clock = e.Clock
+		ts[i] = t
+	}
+	s.heap.ts = ts
+	s.events = st.Events
+	s.crashAt = st.CrashAt
+	s.frozen = st.Frozen
+	s.runahead = st.RunAhead
+	return nil
+}
+
+// schedStateMagic versions the Encode layout.
+var schedStateMagic = [4]byte{'S', 'S', '0', '1'}
+
+// Encode renders the snapshot in a canonical binary form: equal snapshots
+// encode byte-identically, so encodings can be compared or hashed directly.
+// Layout: magic "SS01", then big-endian events, crashAt, a flags byte
+// (bit0 frozen, bit1 run-ahead), the heap length as uint32, and per heap
+// slot the thread id as uint32 followed by its clock.
+func (st SchedState) Encode() []byte {
+	buf := make([]byte, 0, 4+8+8+1+4+len(st.Heap)*12)
+	buf = append(buf, schedStateMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, st.Events)
+	buf = binary.BigEndian.AppendUint64(buf, st.CrashAt)
+	var flags byte
+	if st.Frozen {
+		flags |= 1
+	}
+	if st.RunAhead {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Heap)))
+	for _, e := range st.Heap {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.ID))
+		buf = binary.BigEndian.AppendUint64(buf, e.Clock)
+	}
+	return buf
+}
+
+// DecodeSchedState parses an Encode rendering back into a SchedState.
+// Encode(DecodeSchedState(b)) == b for every valid b, completing the
+// byte-identical round trip.
+func DecodeSchedState(b []byte) (SchedState, error) {
+	var st SchedState
+	if len(b) < 4+8+8+1+4 || [4]byte(b[:4]) != schedStateMagic {
+		return st, fmt.Errorf("sim: DecodeSchedState: bad header")
+	}
+	b = b[4:]
+	st.Events = binary.BigEndian.Uint64(b)
+	st.CrashAt = binary.BigEndian.Uint64(b[8:])
+	flags := b[16]
+	st.Frozen = flags&1 != 0
+	st.RunAhead = flags&2 != 0
+	n := binary.BigEndian.Uint32(b[17:])
+	b = b[21:]
+	if uint64(len(b)) != uint64(n)*12 {
+		return st, fmt.Errorf("sim: DecodeSchedState: truncated heap (%d bytes for %d threads)", len(b), n)
+	}
+	st.Heap = make([]ThreadState, n)
+	for i := range st.Heap {
+		st.Heap[i] = ThreadState{
+			ID:    int(binary.BigEndian.Uint32(b[i*12:])),
+			Clock: binary.BigEndian.Uint64(b[i*12+4:]),
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCrashArmReturnsPrevious pins the re-arm contract the explorer relies
+// on: arming is last-wins, and both arming calls return the previously armed
+// absolute event index (0 = none) so a harness stacking adversaries can see
+// what it is replacing.
+func TestCrashArmReturnsPrevious(t *testing.T) {
+	s := New(1)
+	if prev := s.CrashAtEvent(10); prev != 0 {
+		t.Fatalf("first arm returned prev=%d, want 0", prev)
+	}
+	if prev := s.CrashAtEvent(5); prev != 10 {
+		t.Fatalf("re-arm returned prev=%d, want 10", prev)
+	}
+	// CrashAfter is relative to the current event counter (0 here) but
+	// returns the previous arm as an absolute index.
+	if prev := s.CrashAfter(3); prev != 5 {
+		t.Fatalf("CrashAfter returned prev=%d, want 5", prev)
+	}
+	if prev := s.CrashAfter(0); prev != 3 {
+		t.Fatalf("disarming CrashAfter returned prev=%d, want 3", prev)
+	}
+	if prev := s.CrashAtEvent(7); prev != 0 {
+		t.Fatalf("arm after disarm returned prev=%d, want 0", prev)
+	}
+	// Last-wins: the surviving arm is the latest one.
+	s.CrashAtEvent(2)
+	done := 0
+	s.Spawn("w", 0, 0, func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Step(1)
+			done++
+		}
+	})
+	s.Run()
+	if !s.Frozen() || done != 1 {
+		t.Fatalf("last-wins arm: frozen=%v done=%d, want frozen after event 2 (1 completed step)", s.Frozen(), done)
+	}
+}
+
+// CrashAfter mid-run must report the pending arm as an absolute index.
+func TestCrashAfterMidRunReturnsAbsolutePrev(t *testing.T) {
+	s := New(1)
+	s.Spawn("w", 0, 0, func(th *Thread) {
+		for i := 0; i < 4; i++ {
+			th.Step(1)
+		}
+		s.CrashAtEvent(100)
+		if prev := s.CrashAfter(50); prev != 100 {
+			t.Errorf("CrashAfter returned prev=%d, want 100", prev)
+		}
+		if s.Events() != 4 {
+			t.Errorf("events=%d, want 4", s.Events())
+		}
+	})
+	s.Run()
+}
+
+type chooserFunc func(caller int, cands []Candidate) int
+
+func (f chooserFunc) Choose(caller int, cands []Candidate) int { return f(caller, cands) }
+
+// TestChooserForcesSchedule: a chooser that always picks the highest-id
+// candidate runs the threads in reverse spawn order, against the built-in
+// rule's interleaving.
+func TestChooserForcesSchedule(t *testing.T) {
+	var order []int
+	s := New(1)
+	s.SetChooser(chooserFunc(func(caller int, cands []Candidate) int {
+		for i := 1; i < len(cands); i++ {
+			if cands[i].ID < cands[i-1].ID {
+				t.Errorf("candidates not in ascending id order: %v", cands)
+			}
+		}
+		return len(cands) - 1
+	}))
+	for id := 0; id < 3; id++ {
+		id := id
+		s.Spawn("w", 0, 0, func(th *Thread) {
+			for i := 0; i < 3; i++ {
+				th.Step(1)
+				order = append(order, id)
+			}
+		})
+	}
+	s.Run()
+	want := []int{2, 2, 2, 1, 1, 1, 0, 0, 0}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestChooserMinClockMatchesDefault: a chooser that always answers with
+// MinClock reproduces the built-in schedule exactly.
+func TestChooserMinClockMatchesDefault(t *testing.T) {
+	run := func(install bool) []int {
+		var order []int
+		s := New(7)
+		if install {
+			s.SetChooser(chooserFunc(func(caller int, cands []Candidate) int {
+				return MinClock(cands)
+			}))
+		}
+		for id := 0; id < 4; id++ {
+			id := id
+			s.Spawn("w", 0, 0, func(th *Thread) {
+				for i := 0; i < 5; i++ {
+					th.Step(uint64(1 + (id+i)%3))
+					order = append(order, id)
+				}
+			})
+		}
+		s.Run()
+		return order
+	}
+	def, chosen := run(false), run(true)
+	if len(def) != len(chosen) {
+		t.Fatalf("lengths differ: %d vs %d", len(def), len(chosen))
+	}
+	for i := range def {
+		if def[i] != chosen[i] {
+			t.Fatalf("schedules diverge at %d: default %v, chooser %v", i, def, chosen)
+		}
+	}
+}
+
+// TestSchedStateRoundTrip pins the byte-identical capture/restore contract:
+// restoring a snapshot onto a scheduler with the same spawned threads makes
+// its own capture encode byte-identically, and Encode/Decode invert.
+func TestSchedStateRoundTrip(t *testing.T) {
+	mk := func(clocks []uint64) *Scheduler {
+		s := New(3)
+		for i, c := range clocks {
+			_ = i
+			s.Spawn("w", 0, c, func(th *Thread) {})
+		}
+		return s
+	}
+	a := mk([]uint64{5, 2, 9, 2})
+	a.CrashAtEvent(40)
+	st := a.CaptureState()
+	if len(st.Heap) != 4 || st.CrashAt != 40 || st.Frozen {
+		t.Fatalf("capture = %+v", st)
+	}
+
+	// A scheduler built with different clocks (hence a different heap
+	// arrangement) must round-trip to the identical encoding after restore.
+	b := mk([]uint64{1, 1, 1, 1})
+	if err := b.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	got, want := b.CaptureState().Encode(), st.Encode()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-restore capture differs:\n got %x\nwant %x", got, want)
+	}
+
+	dec, err := DecodeSchedState(want)
+	if err != nil {
+		t.Fatalf("DecodeSchedState: %v", err)
+	}
+	if !bytes.Equal(dec.Encode(), want) {
+		t.Fatalf("Encode(Decode(b)) != b")
+	}
+
+	// Restored scheduler must also dispatch identically: drain both and
+	// compare event counts (threads are empty bodies, one exit each).
+	a.Run()
+	b.Run()
+	if a.Events() != b.Events() {
+		t.Fatalf("post-restore run diverged: %d vs %d events", a.Events(), b.Events())
+	}
+
+	// Mismatched thread sets are rejected.
+	c := mk([]uint64{0, 0})
+	if err := c.RestoreState(st); err == nil {
+		t.Fatal("RestoreState accepted a snapshot with a different thread count")
+	}
+}
