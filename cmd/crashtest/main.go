@@ -181,10 +181,11 @@ type crashCycle struct {
 	Recovered uint64 `json:"recovered_ops"`
 	Lost      uint64 `json:"lost_completed"`
 	recStats
-	CrashAt          uint64      `json:"crash_at"`
-	RecoveryAttempts int         `json:"recovery_attempts"`
-	Fault            faultStats  `json:"fault"`
-	Check            *checkBlock `json:"check,omitempty"`
+	CrashAt          uint64        `json:"crash_at"`
+	RecoveryAttempts int           `json:"recovery_attempts"`
+	Fault            faultStats    `json:"fault"`
+	Check            *checkBlock   `json:"check,omitempty"`
+	Sharded          *shardedBlock `json:"sharded,omitempty"`
 }
 
 // crashSystemDoc groups one system's cycles, plus its nested-recovery sweep
@@ -205,6 +206,7 @@ type crashDoc struct {
 	LogSize    uint64           `json:"log_size"`
 	Seed       int64            `json:"seed"`
 	Nested     int              `json:"nested"`
+	Instances  int              `json:"instances,omitempty"`
 	Fault      faultStats       `json:"fault"`
 	Checker    *checkerSummary  `json:"checker,omitempty"`
 	Systems    []crashSystemDoc `json:"systems"`
@@ -223,6 +225,22 @@ func main() {
 	if _, err := fault.Parse(*policySpec, 1); err != nil {
 		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
 		os.Exit(2)
+	}
+	if *instancesFlg > 1 {
+		switch {
+		case *workers%*instancesFlg != 0:
+			fmt.Fprintf(os.Stderr, "crashtest: -workers=%d not divisible by -instances=%d\n", *workers, *instancesFlg)
+			os.Exit(2)
+		case *checkMode != "prefix":
+			fmt.Fprintln(os.Stderr, "crashtest: -instances > 1 supports only -check prefix (sharded linearizability lives in prepserve -check)")
+			os.Exit(2)
+		case *nested > 0 || *sweepN > 0:
+			fmt.Fprintln(os.Stderr, "crashtest: -instances > 1 does not compose with -nested or -sweep")
+			os.Exit(2)
+		case *system != "all" && *system != "prep-durable" && *system != "prep-buffered":
+			fmt.Fprintf(os.Stderr, "crashtest: -instances > 1 is PREP-only; -system=%s has no multi-instance region naming\n", *system)
+			os.Exit(2)
+		}
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -270,6 +288,9 @@ func main() {
 // failure count. It is the whole run minus flag validation and I/O setup,
 // so tests can drive it deterministically.
 func buildDoc(progress io.Writer) (crashDoc, int) {
+	if *instancesFlg > 1 {
+		return buildShardedDoc(progress)
+	}
 	doc := crashDoc{
 		Schema: CrashSchema, Iterations: *iterations, Workers: *workers,
 		Epsilon: *epsilon, LogSize: *logSize, Seed: *seed, Nested: *nested,

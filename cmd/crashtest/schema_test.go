@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,6 +49,9 @@ func TestSchemaGolden(t *testing.T) {
 			map[string]string{"system": "prep-durable", "check": "prefix"}},
 		{"linearize", "crash_v2_linearize.golden.json",
 			map[string]string{"system": "prep-buffered", "check": "linearize", "epochs": "2"}},
+		{"sharded", "crash_v2_sharded.golden.json",
+			map[string]string{"system": "all", "check": "prefix",
+				"instances": "2", "nested": "0"}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -139,6 +143,91 @@ func TestSweepBlock(t *testing.T) {
 		if _, ok := timing[k]; !ok {
 			t.Errorf("timing summary is missing field %q", k)
 		}
+	}
+}
+
+// TestShardedCrashFields guards the -instances additions: the top-level
+// instances field, the per-cycle "sharded" block with one verdict per
+// co-resident instance, zero cross-instance foreign keys, rotating
+// first-wave recovery subsets across iterations, and -j independence of
+// the document bytes.
+func TestShardedCrashFields(t *testing.T) {
+	base := map[string]string{
+		"iterations": "3", "workers": "4", "epsilon": "16", "log": "128",
+		"seed": "42", "policy": "targeted", "j": "1", "nested": "0",
+		"system": "prep-durable", "check": "prefix", "instances": "2",
+	}
+	withFlags(t, base)
+	var progress bytes.Buffer
+	doc, failures := buildDoc(&progress)
+	if failures != 0 {
+		t.Fatalf("sharded run failed %d cycles:\n%s", failures, progress.String())
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["instances"].(float64) != 2 {
+		t.Fatalf("top-level instances = %v, want 2", m["instances"])
+	}
+	cycles := m["systems"].([]any)[0].(map[string]any)["cycles"].([]any)
+	if len(cycles) != 3 {
+		t.Fatalf("got %d cycles, want 3", len(cycles))
+	}
+	firsts := map[string]bool{}
+	for i, c := range cycles {
+		cm := c.(map[string]any)
+		sb, ok := cm["sharded"].(map[string]any)
+		if !ok {
+			t.Fatalf("cycle %d has no sharded block", i)
+		}
+		for _, k := range []string{"instances", "recovered_first", "foreign_keys", "per_instance"} {
+			if _, ok := sb[k]; !ok {
+				t.Errorf("cycle %d sharded block is missing %q", i, k)
+			}
+		}
+		if sb["foreign_keys"].(float64) != 0 {
+			t.Errorf("cycle %d: %v foreign keys", i, sb["foreign_keys"])
+		}
+		first := sb["recovered_first"].([]any)
+		if len(first) == 0 || len(first) >= 2 {
+			t.Errorf("cycle %d: first wave %v is not a proper nonempty subset of 2", i, first)
+		}
+		firsts[fmt.Sprint(first)] = true
+		per := sb["per_instance"].([]any)
+		if len(per) != 2 {
+			t.Fatalf("cycle %d: %d per-instance entries, want 2", i, len(per))
+		}
+		var sum float64
+		for k, e := range per {
+			em := e.(map[string]any)
+			if em["instance"].(float64) != float64(k) || em["ok"] != true {
+				t.Errorf("cycle %d instance %d: %v", i, k, em)
+			}
+			sum += em["completed_ops"].(float64)
+		}
+		if sum != cm["completed_ops"].(float64) {
+			t.Errorf("cycle %d: per-instance completed sums to %v, cycle says %v",
+				i, sum, cm["completed_ops"])
+		}
+	}
+	if len(firsts) < 2 {
+		t.Errorf("first-wave subset never rotated: %v", firsts)
+	}
+	// The document is a pure function of the flags at any -j.
+	withFlags(t, map[string]string{"j": "4"})
+	progress.Reset()
+	doc2, failures := buildDoc(&progress)
+	if failures != 0 {
+		t.Fatalf("-j 4 run failed %d cycles", failures)
+	}
+	raw2, _ := json.Marshal(doc2)
+	if !bytes.Equal(raw, raw2) {
+		t.Errorf("-j 1 and -j 4 sharded documents disagree")
 	}
 }
 

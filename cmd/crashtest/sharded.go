@@ -1,0 +1,350 @@
+package main
+
+// The -instances N > 1 cycle: one machine hosts N co-resident PREP
+// instances (Config.Instance region naming on a single nvm.System), each
+// with its own log, replicas, generation lineage and descriptor table.
+// Every cycle crashes the whole machine mid-workload, then recovers the
+// instances in two waves — a rotating proper subset first, the rest on a
+// later scheduler — so recovery-order independence is exercised across
+// iterations. Each instance is verified against its own completion record
+// under the active durable condition, and a cross-instance isolation scan
+// (recovered Size minus the instance's own surviving keys) proves no
+// instance's recovery resurrected another's writes: instance keys are
+// tagged with the instance index, so any bleed is a nonzero foreign count.
+//
+// Sharded cycles are PREP-only (-system prep-durable / prep-buffered /
+// all, which narrows to those two): the comparison systems have no
+// multi-instance region naming. The JSON document is additive to schema
+// prepuc-crash/v2 — a top-level "instances" field and a per-cycle
+// "sharded" block, both omitted in single-instance runs so existing
+// goldens and consumers are unchanged.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"prepuc/internal/core"
+	"prepuc/internal/history"
+	"prepuc/internal/nvm"
+	"prepuc/internal/par"
+	"prepuc/internal/seq"
+	"prepuc/internal/sim"
+	"prepuc/internal/uc"
+)
+
+var instancesFlg = flag.Int("instances", 1, "co-resident PREP instances per machine; >1 runs sharded crash cycles (PREP systems only, -check prefix)")
+
+// shardedBlock is one cycle's multi-instance record (additive to schema
+// v2; absent when -instances is 1).
+type shardedBlock struct {
+	Instances int `json:"instances"`
+	// RecoveredFirst is the rotating proper subset of instances recovered
+	// in the first wave; the rest recovered on a later scheduler.
+	RecoveredFirst []int `json:"recovered_first"`
+	// ForeignKeys counts keys found in some instance's recovered state
+	// that were inserted into a different instance (must be 0).
+	ForeignKeys uint64          `json:"foreign_keys"`
+	PerInstance []instanceCycle `json:"per_instance"`
+}
+
+// instanceCycle is one instance's verdict within a sharded cycle.
+type instanceCycle struct {
+	Instance  int    `json:"instance"`
+	Completed uint64 `json:"completed_ops"`
+	Recovered uint64 `json:"recovered_ops"`
+	Lost      uint64 `json:"lost_completed"`
+	Replayed  uint64 `json:"replayed"`
+	OK        bool   `json:"ok"`
+}
+
+// instKey tags a per-worker sequence key with its owning instance so
+// cross-instance leakage is observable after recovery. history.Key packs
+// (tid, i) into the low 48 bits; the tag sits above it.
+func instKey(k, tid int, i uint64) uint64 {
+	return uint64(k+1)<<56 | history.Key(tid, i)
+}
+
+// shardedCfg is instance k's engine config: the flat PREP config with a
+// per-instance worker slice and the region namespace.
+func shardedCfg(mode core.Mode, k, wp int) core.Config {
+	return core.Config{
+		Mode: mode, Topology: topo(), Workers: wp,
+		LogSize: *logSize, Epsilon: *epsilon,
+		Factory:  seq.HashMapFactory(256),
+		Attacher: seq.HashMapAttacher,
+		// Smaller than the flat driver's heap: N instances share the machine.
+		HeapWords: 1 << 19,
+		Instance:  fmt.Sprintf("s%d", k),
+	}
+}
+
+// recoverFirst picks the cycle's first-wave recovery subset: a proper
+// subset whose start and size both rotate with the iteration, so an
+// -iterations run sweeps recovery orders.
+func recoverFirst(iter, n int) []int {
+	size := 1 + iter%(n-1)
+	first := make([]int, 0, size)
+	for j := 0; j < size; j++ {
+		first = append(first, (iter+j)%n)
+	}
+	return first
+}
+
+// buildShardedDoc is buildDoc for -instances > 1: the same document shape
+// with the per-cycle sharded additions, over the PREP systems only.
+func buildShardedDoc(progress io.Writer) (crashDoc, int) {
+	doc := crashDoc{
+		Schema: CrashSchema, Iterations: *iterations, Workers: *workers,
+		Epsilon: *epsilon, LogSize: *logSize, Seed: *seed, Nested: *nested,
+		Instances: *instancesFlg,
+		Fault:     faultStats{Policy: policyLabel()},
+	}
+	failures := 0
+	run := func(mode core.Mode, name string) {
+		fmt.Fprintf(progress, "=== %s: %d sharded crash/recover cycles (instances=%d) ===\n",
+			name, *iterations, *instancesFlg)
+		sd := crashSystemDoc{System: name}
+		cycles := make([]crashCycle, *iterations)
+		var seqOut par.Seq
+		par.Do(par.Jobs(*jobs), *iterations, func(i int) {
+			var buf bytes.Buffer
+			cycles[i] = runShardedIteration(&buf, mode, i, crashEvent(i))
+			seqOut.Done(i, func() { progress.Write(buf.Bytes()) })
+		})
+		for _, c := range cycles {
+			if !c.OK {
+				failures++
+			}
+			doc.Fault.add(c.Fault)
+			sd.Cycles = append(sd.Cycles, c)
+		}
+		doc.Systems = append(doc.Systems, sd)
+	}
+	if *system == "all" || *system == "prep-durable" {
+		run(core.Durable, "PREP-Durable")
+	}
+	if *system == "all" || *system == "prep-buffered" {
+		run(core.Buffered, "PREP-Buffered")
+	}
+	return doc, failures
+}
+
+// runShardedIteration is one sharded iteration: the cycle plus its
+// progress line and failure repro.
+func runShardedIteration(buf *bytes.Buffer, mode core.Mode, iter int, crashAt uint64) crashCycle {
+	cyc, ok := runShardedCycle(mode, iter, crashAt)
+	status := "OK "
+	if !ok {
+		status = "FAIL"
+	}
+	sb := cyc.Sharded
+	fmt.Fprintf(buf, "  [%s] crash %2d @%-6d: instances=%d first=%v completed=%d recovered=%d lost=%d foreign=%d replayed=%d recovery=%.3fms(virtual)\n",
+		status, iter, crashAt, sb.Instances, sb.RecoveredFirst, cyc.Completed,
+		cyc.Recovered, cyc.Lost, sb.ForeignKeys, cyc.Replayed,
+		float64(cyc.RecoveryVirtualNS)/1e6)
+	if !ok {
+		name := "prep-durable"
+		if mode == core.Buffered {
+			name = "prep-buffered"
+		}
+		args := []string{
+			fmt.Sprintf("-system=%s", name),
+			fmt.Sprintf("-instances=%d", *instancesFlg),
+			"-iterations=1",
+			fmt.Sprintf("-workers=%d", *workers),
+			fmt.Sprintf("-epsilon=%d", *epsilon),
+			fmt.Sprintf("-log=%d", *logSize),
+			fmt.Sprintf("-seed=%d", *seed+int64(iter)*101),
+			fmt.Sprintf("-crash-at=%d", crashAt),
+		}
+		if !*flushElide {
+			args = append(args, "-flush-elide=false")
+		}
+		if *policySpec != "" {
+			spec := *policySpec
+			if spec == "targeted" {
+				spec = fmt.Sprintf("targeted=%d", iter)
+			}
+			args = append(args, fmt.Sprintf("-policy=%s", spec))
+		}
+		fmt.Fprintf(buf, "       repro: crashtest %s\n", strings.Join(args, " "))
+	}
+	return cyc
+}
+
+// runShardedCycle executes one boot(×N) → workload-crash → recover(first
+// wave, then rest) → probe cycle and checks every instance plus the
+// cross-instance isolation scan.
+func runShardedCycle(mode core.Mode, iter int, crashAt uint64) (crashCycle, bool) {
+	S := *instancesFlg
+	wp := *workers / S
+	var offset int64
+	if mode == core.Buffered {
+		offset = 50_000 // disjoint seed stream per system, as in the flat drivers
+	}
+	base := *seed + int64(iter)*101 + offset
+	tp := topo()
+
+	bootSch := sim.New(base)
+	sys := nvm.NewSystem(bootSch, nvm.Config{
+		Costs: sim.UnitCosts(), BGFlushOneIn: 128, Seed: uint64(base) + 7,
+		NoFlushElision: !*flushElide,
+	})
+	sys.SetFaultPolicy(cyclePolicy(iter, base))
+	engines := make([]*core.PREP, S)
+	var err error
+	bootSch.Spawn("boot", 0, 0, func(t *sim.Thread) {
+		for k := 0; k < S; k++ {
+			engines[k], err = core.New(t, sys, shardedCfg(mode, k, wp))
+			if err != nil {
+				return
+			}
+		}
+	})
+	bootSch.Run()
+	if err != nil {
+		panic(err)
+	}
+
+	// Workload: wp insert workers per instance, all interleaved on one
+	// crash-armed scheduler with each instance's persistence thread live.
+	sch := sim.New(base + 1)
+	sch.CrashAtEvent(crashAt)
+	sys.SetScheduler(sch)
+	for k := 0; k < S; k++ {
+		engines[k].SpawnPersistence(0)
+	}
+	completed := make([][]uint64, S)
+	for k := 0; k < S; k++ {
+		completed[k] = make([]uint64, wp)
+		for tid := 0; tid < wp; tid++ {
+			k, tid := k, tid
+			sch.Spawn("worker", tp.NodeOf(k*wp+tid), 0, func(t *sim.Thread) {
+				defer func() {
+					if r := recover(); r != nil && !sim.Crashed(r) {
+						panic(r)
+					}
+				}()
+				for i := uint64(0); ; i++ {
+					engines[k].Execute(t, tid, uc.Insert(instKey(k, tid, i), i))
+					completed[k][tid] = i + 1
+				}
+			})
+		}
+	}
+	sch.Run()
+
+	// Two recovery waves over one crashed image: the rotating first-wave
+	// subset, then the rest on a later scheduler. Each instance's recovery
+	// reads only its own prefixed regions, so wave order must not matter;
+	// the per-instance checks below catch any bleed.
+	first := recoverFirst(iter, S)
+	inFirst := make([]bool, S)
+	for _, k := range first {
+		inFirst[k] = true
+	}
+	var cs cycleStats
+	cs.RecoveryAttempts = 1
+	rec := make([]*core.PREP, S)
+	replayed := make([]uint64, S)
+	recSch := sim.New(base + 2)
+	recovered := sys.Recover(recSch)
+	recoverWave := func(waveSch *sim.Scheduler, pick func(k int) bool) {
+		waveSch.Spawn("recover", 0, 0, func(t *sim.Thread) {
+			start := t.Clock()
+			for k := 0; k < S; k++ {
+				if !pick(k) {
+					continue
+				}
+				p, rp, e := core.Recover(t, recovered, shardedCfg(mode, k, wp))
+				if e != nil {
+					err = e
+					return
+				}
+				rec[k] = p
+				replayed[k] = rp.Replayed
+			}
+			cs.RecoveryVirtualNS += t.Clock() - start
+		})
+		waveSch.Run()
+		if err != nil {
+			panic(err)
+		}
+	}
+	recoverWave(recSch, func(k int) bool { return inFirst[k] })
+	lateSch := sim.New(base + 3)
+	recovered.SetScheduler(lateSch)
+	recoverWave(lateSch, func(k int) bool { return !inFirst[k] })
+
+	// Probe: each instance's own key prefix (the per-worker condition),
+	// plus its recovered Size for the isolation scan — any key beyond the
+	// instance's own surviving set is a foreign resurrection.
+	keys := make([][][]bool, S)
+	sizes := make([]uint64, S)
+	own := make([]uint64, S)
+	probeSch := sim.New(base + 1000)
+	recovered.SetScheduler(probeSch)
+	probeSch.Spawn("probe", 0, 0, func(t *sim.Thread) {
+		for k := 0; k < S; k++ {
+			keys[k] = make([][]bool, wp)
+			for tid := 0; tid < wp; tid++ {
+				n := completed[k][tid] + 32
+				keys[k][tid] = make([]bool, n)
+				for i := uint64(0); i < n; i++ {
+					present := rec[k].Execute(t, 0, uc.Get(instKey(k, tid, i))) != uc.NotFound
+					keys[k][tid][i] = present
+					if present {
+						own[k]++
+					}
+				}
+			}
+			sizes[k] = rec[k].Execute(t, 0, uc.Size())
+		}
+	})
+	probeSch.Run()
+
+	ms := recovered.Metrics().Snapshot()
+	cs.Fault.Policy = policyLabel()
+	cs.Fault.PendingDropped = ms.CrashLinesDropped
+	cs.Fault.PendingPersisted = ms.CrashLinesPersisted
+	cs.Fault.RecoveryRestarts = ms.RecoveryRestarts
+	cs.Fault.ReplayHoles = ms.ReplayHoles
+
+	beta := uint64(tp.ThreadsPerNode)
+	blk := &shardedBlock{Instances: S, RecoveredFirst: first}
+	allOK := true
+	var totC, totR, totL, totRep uint64
+	for k := 0; k < S; k++ {
+		r := history.Check(keys[k], completed[k])
+		ok := r.DurableOK()
+		if mode == core.Buffered {
+			ok = r.BufferedOK(*epsilon, beta)
+		}
+		foreign := sizes[k] - own[k]
+		blk.ForeignKeys += foreign
+		if foreign != 0 {
+			ok = false
+		}
+		allOK = allOK && ok
+		blk.PerInstance = append(blk.PerInstance, instanceCycle{
+			Instance: k, Completed: r.Completed, Recovered: r.Recovered,
+			Lost: r.LostCompleted, Replayed: replayed[k], OK: ok,
+		})
+		totC += r.Completed
+		totR += r.Recovered
+		totL += r.LostCompleted
+		totRep += replayed[k]
+	}
+	cyc := crashCycle{
+		Iteration: iter, OK: allOK,
+		Completed: totC, Recovered: totR, Lost: totL,
+		recStats: recStats{RecoveryVirtualNS: cs.RecoveryVirtualNS, Replayed: totRep},
+		CrashAt:  crashAt, RecoveryAttempts: cs.RecoveryAttempts,
+		Fault:   cs.Fault,
+		Sharded: blk,
+	}
+	return cyc, allOK
+}

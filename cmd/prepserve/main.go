@@ -28,7 +28,18 @@
 // Both scenarios run against all five recoverable constructions
 // (PREP-Durable, PREP-Buffered, CX-PUC, SOFT, ONLL) unless -system narrows
 // the set. -format json emits one machine-readable document with schema
-// "prepuc-serve/v2".
+// "prepuc-serve/v3".
+//
+// -instances S > 1 selects the sharded multi-instance deployment: S fully
+// independent machines (each with its own scheduler, NVM, engine, rings and
+// recovery state machine) behind a -route key-space router, with -shards
+// read as the TOTAL worker count split evenly across machines — so a
+// scaling sweep holds total resources fixed while varying S. The steady
+// sharded matrix adds PREP-Volatile (the scaling headline's engine); the
+// crash scenario crashes the -crash-shards subset of machines (default:
+// all) while survivors keep serving, each crashed shard recovering
+// independently. -j caps host-side parallelism across machine sub-runs;
+// the document is byte-identical at any -j.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 
 	"prepuc/internal/harness"
 	"prepuc/internal/openloop"
+	"prepuc/internal/shard"
 )
 
 var (
@@ -69,14 +81,22 @@ var (
 	seed    = flag.Int64("seed", 1, "base seed")
 	format  = flag.String("format", "table", "output format: table or json")
 	outPath = flag.String("o", "", "write results to this file (default stdout)")
+
+	instances   = flag.Int("instances", 1, "independent machines behind the router (>1: sharded mode; -shards becomes the total worker count)")
+	route       = flag.String("route", "hash", "sharded key partitioning policy: hash or range")
+	crashShards = flag.String("crash-shards", "", "comma-separated machine indices to crash in sharded crash runs (empty: all)")
+	jobs        = flag.Int("j", 1, "host workers for sharded machine sub-runs (0: all cores; never affects output bytes)")
 )
 
 // ServeSchema identifies the machine-readable prepserve output format.
 // v2 added the detectable-recovery fields to crash blocks (detectable,
 // in_flight_resolved, resolved_completed, duplicates_applied), the fault
-// "policy" and the optional per-system "check" block; the v1 fields are
-// unchanged.
-const ServeSchema = "prepuc-serve/v2"
+// "policy" and the optional per-system "check" block. v3 adds the sharded
+// multi-instance mode: top-level instances/route/crash_shards, and — on
+// sharded documents only — per-system route, imbalance, shards breakdowns
+// and the composition verdict. Single-instance documents keep the v2 shape
+// apart from the schema string; all v3 additions are strictly additive.
+const ServeSchema = "prepuc-serve/v3"
 
 // serveDoc is the whole run.
 type serveDoc struct {
@@ -90,6 +110,9 @@ type serveDoc struct {
 	Seed              int64                  `json:"seed"`
 	Policy            string                 `json:"policy"`
 	Check             bool                   `json:"check"`
+	Instances         int                    `json:"instances,omitempty"`
+	Route             string                 `json:"route,omitempty"`
+	CrashShards       []int                  `json:"crash_shards,omitempty"`
 	Systems           []*harness.ServeResult `json:"systems"`
 }
 
@@ -140,11 +163,87 @@ func buildDoc(progress io.Writer) (*serveDoc, int, error) {
 		Policy: *policy, Check: *check,
 	}
 	failures := 0
-	for _, d := range harness.ServeDrivers(*shards, *epsilon) {
+	if *instances > 1 {
+		return buildShardedDoc(progress, doc, cfg)
+	}
+	drivers := harness.ServeDrivers(*shards, *epsilon)
+	// Steady-only systems (PREP-Volatile, the no-persistence ceiling) are
+	// available on explicit selection so single-machine baselines for the
+	// sharded scaling sweeps come from the same binary; "all" keeps the
+	// recoverable five for document stability.
+	if *scenario == "steady" && *system != "all" {
+		for _, sys := range harness.ServeSystems() {
+			if sys.SteadyOnly && *system == systemFlag(sys.Name) {
+				drivers = append([]*harness.ServeDriver{sys.New(*shards, *epsilon)}, drivers...)
+			}
+		}
+	}
+	for _, d := range drivers {
 		if *system != "all" && *system != systemFlag(d.Name) {
 			continue
 		}
 		res, err := harness.RunServe(d, cfg)
+		if err != nil {
+			return nil, failures, err
+		}
+		doc.Systems = append(doc.Systems, res)
+		if res.Check != nil && !res.Check.OK {
+			failures++
+		}
+		if *format != "json" {
+			printResult(progress, res)
+		}
+	}
+	if len(doc.Systems) == 0 {
+		return nil, failures, fmt.Errorf("unknown system %q", *system)
+	}
+	return doc, failures, nil
+}
+
+// buildShardedDoc runs the sharded multi-instance matrix: all six systems
+// (PREP-Volatile included) on steady runs, the recoverable five on crash
+// runs, each deployed as *instances independent machines with the total
+// worker budget split evenly.
+func buildShardedDoc(progress io.Writer, doc *serveDoc, cfg harness.ServeConfig) (*serveDoc, int, error) {
+	per := *shards / *instances
+	scfg := harness.ShardedServeConfig{
+		Instances: *instances, Route: *route, TotalWorkers: *shards,
+		RingSize: cfg.RingSize, MaxBatch: cfg.MaxBatch, Batched: cfg.Batched,
+		Open: cfg.Open, Seed: cfg.Seed, Policy: cfg.Policy, Check: cfg.Check,
+		Jobs: *jobs,
+	}
+	if *scenario == "crash" {
+		scfg.CrashAtNS = cfg.CrashAtNS
+		set, err := shard.ParseSet(*crashShards, *instances)
+		if err != nil {
+			return nil, 0, err
+		}
+		if set == nil {
+			for i := 0; i < *instances; i++ {
+				set = append(set, i)
+			}
+		}
+		scfg.CrashShards = set
+		doc.CrashShards = set
+	}
+	doc.Instances = *instances
+	doc.Route = *route
+
+	failures := 0
+	for _, sys := range harness.ServeSystems() {
+		sys := sys
+		if *system != "all" && *system != systemFlag(sys.Name) {
+			continue
+		}
+		if sys.SteadyOnly && *scenario == "crash" {
+			if *system != "all" {
+				return nil, failures, fmt.Errorf("%s has no recovery path; steady scenario only", sys.Name)
+			}
+			continue
+		}
+		res, err := harness.RunShardedServe(func() *harness.ServeDriver {
+			return sys.New(per, *epsilon)
+		}, scfg)
 		if err != nil {
 			return nil, failures, err
 		}
@@ -233,6 +332,25 @@ func printResult(w io.Writer, r *harness.ServeResult) {
 		} else {
 			fmt.Fprintf(w, "  check: %s FAILED epoch=%d %s: %s\n",
 				cb.Mode, cb.FailedEpoch, cb.FailedPartition, cb.Reason)
+		}
+	}
+	if len(r.Shards) > 0 {
+		fmt.Fprintf(w, "  sharded: route=%s imbalance=%.2f\n", r.Route, r.Imbalance)
+		for _, sh := range r.Shards {
+			mark := ""
+			if sh.Crashed {
+				mark = " crashed"
+			}
+			fmt.Fprintf(w, "    shard %d: %9.0f ops/s completed=%d/%d%s\n",
+				sh.Shard, sh.Result.OpsPerSec, sh.Result.Completed, sh.Result.Submitted, mark)
+		}
+		if c := r.Composition; c != nil {
+			verdict := "ok"
+			if !c.OK {
+				verdict = "FAILED: " + c.Reason + c.UnionReason
+			}
+			fmt.Fprintf(w, "    composition: %s (ops_audited=%d keys_probed=%d union=%v)\n",
+				verdict, c.OpsAudited, c.KeysProbed, c.UnionChecked)
 		}
 	}
 }

@@ -37,24 +37,31 @@ var serveBase = map[string]string{
 	"seed": "42", "format": "json",
 }
 
-// TestSchemaGolden locks the prepuc-serve/v2 JSON document byte for byte.
+// TestSchemaGolden locks the prepuc-serve/v3 JSON document byte for byte.
 // One golden covers the steady scenario, one the checked crash scenario
-// under the targeted fault adversary — the detectable-recovery additions
-// (crash.detectable, in_flight_resolved, resolved_completed,
-// duplicates_applied) and the per-system check block. Run
-// `go test ./cmd/prepserve -run TestSchemaGolden -update` to regenerate
-// after an intentional (additive-only) schema change.
+// under the targeted fault adversary, and two the sharded multi-instance
+// mode — a steady 4-machine deployment (all six systems, PREP-Volatile
+// included) and a partial crash of machines {0,2} with survivors serving
+// through. Run `go test ./cmd/prepserve -run TestSchemaGolden -update` to
+// regenerate after an intentional (additive-only) schema change.
 func TestSchemaGolden(t *testing.T) {
 	cases := []struct {
 		name   string
 		golden string
 		extra  map[string]string
 	}{
-		{"steady", "serve_v2_steady.golden.json",
+		{"steady", "serve_v3_steady.golden.json",
 			map[string]string{"scenario": "steady", "check": "true"}},
-		{"crash", "serve_v2_crash.golden.json",
+		{"crash", "serve_v3_crash.golden.json",
 			map[string]string{"scenario": "crash", "crash-at": "200000",
 				"policy": "targeted", "check": "true"}},
+		{"sharded-steady", "serve_v3_sharded_steady.golden.json",
+			map[string]string{"scenario": "steady", "check": "true",
+				"instances": "4", "shards": "4"}},
+		{"sharded-crash", "serve_v3_sharded_crash.golden.json",
+			map[string]string{"scenario": "crash", "crash-at": "200000",
+				"crash-shards": "0,2", "policy": "targeted", "check": "true",
+				"instances": "4", "shards": "4"}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -170,6 +177,90 @@ func TestSchemaRequiredFields(t *testing.T) {
 		if check["ok"] != true {
 			t.Errorf("%s: check failed: %v", name, check)
 		}
+	}
+}
+
+// TestShardedSchemaFields guards the v3 sharded additions: top-level
+// instances/route (and crash_shards on crash runs), per-system breakdowns
+// with one entry per machine, and the composition verdict.
+func TestShardedSchemaFields(t *testing.T) {
+	withFlags(t, serveBase)
+	withFlags(t, map[string]string{
+		"scenario": "crash", "crash-at": "200000", "crash-shards": "1,3",
+		"policy": "coinflip", "check": "true",
+		"instances": "4", "shards": "4",
+	})
+	var progress bytes.Buffer
+	doc, failures, err := buildDoc(&progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("run failed %d checks", failures)
+	}
+	raw, _ := json.Marshal(doc)
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["instances"].(float64) != 4 || m["route"] != "hash" {
+		t.Fatalf("sharded header: instances=%v route=%v", m["instances"], m["route"])
+	}
+	cs := m["crash_shards"].([]any)
+	if len(cs) != 2 || cs[0].(float64) != 1 || cs[1].(float64) != 3 {
+		t.Fatalf("crash_shards = %v", cs)
+	}
+	systems := m["systems"].([]any)
+	if len(systems) != 5 {
+		t.Fatalf("sharded crash matrix: got %d systems, want the 5 recoverable ones", len(systems))
+	}
+	for _, s := range systems {
+		sm := s.(map[string]any)
+		name := sm["system"].(string)
+		for _, k := range []string{"route", "imbalance", "shards", "composition", "crash", "check"} {
+			if _, ok := sm[k]; !ok {
+				t.Errorf("%s: sharded record is missing %q", name, k)
+			}
+		}
+		shards := sm["shards"].([]any)
+		if len(shards) != 4 {
+			t.Fatalf("%s: %d shard entries, want 4", name, len(shards))
+		}
+		for i, e := range shards {
+			em := e.(map[string]any)
+			wantCrash := i == 1 || i == 3
+			if em["shard"].(float64) != float64(i) || em["crashed"].(bool) != wantCrash {
+				t.Errorf("%s shard %d: %v", name, i, em)
+			}
+			rm := em["result"].(map[string]any)
+			if _, hasCrash := rm["crash"]; hasCrash != wantCrash {
+				t.Errorf("%s shard %d: crash block present=%v, want %v", name, i, hasCrash, wantCrash)
+			}
+		}
+		comp := sm["composition"].(map[string]any)
+		if comp["ok"] != true {
+			t.Errorf("%s: composition failed: %v", name, comp)
+		}
+		crash := sm["crash"].(map[string]any)
+		if crash["detectable"] == true && crash["duplicates_applied"].(float64) != 0 {
+			t.Errorf("%s: aggregate duplicates_applied = %v", name, crash["duplicates_applied"])
+		}
+		if sm["check"].(map[string]any)["ok"] != true {
+			t.Errorf("%s: aggregate check failed", name)
+		}
+	}
+	// The steady sharded matrix adds PREP-Volatile.
+	withFlags(t, map[string]string{"scenario": "steady", "crash-shards": "", "policy": ""})
+	doc, failures, err = buildDoc(&progress)
+	if err != nil || failures != 0 {
+		t.Fatalf("steady sharded: err=%v failures=%d", err, failures)
+	}
+	if len(doc.Systems) != 6 || doc.Systems[0].System != "PREP-Volatile" {
+		names := make([]string, len(doc.Systems))
+		for i, s := range doc.Systems {
+			names[i] = s.System
+		}
+		t.Fatalf("steady sharded matrix = %v, want PREP-Volatile + the 5 recoverable", names)
 	}
 }
 

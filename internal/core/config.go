@@ -78,6 +78,15 @@ type Config struct {
 	// Generation disambiguates memory names across crash/recovery cycles;
 	// Recover bumps it automatically.
 	Generation int
+	// Instance namespaces every region name (log, replicas, generations,
+	// descriptors, commit record) so multiple fully independent PREP engines
+	// can co-reside on one nvm.System — the multi-instance boot path of the
+	// sharded deployment. Empty keeps the historical bare names, so every
+	// existing persisted layout (and golden) is untouched. Recovery threads
+	// the same prefix through, which is what makes per-shard generations
+	// independent: shard "s3" recovering to generation 2 never collides
+	// with shard "s1" still on generation 0.
+	Instance string
 	// Detect enables detectable execution: a per-worker persistent
 	// descriptor table records (invocation id, log position, result) for
 	// every update operation submitted with a nonzero uc.Op.Invid, so

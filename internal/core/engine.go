@@ -125,7 +125,23 @@ var (
 	_ uc.Instrumented = (*PREP)(nil)
 )
 
-func (c Config) memName(s string) string { return fmt.Sprintf("g%d.%s", c.Generation, s) }
+func (c Config) memName(s string) string {
+	if c.Instance == "" {
+		return fmt.Sprintf("g%d.%s", c.Generation, s)
+	}
+	return fmt.Sprintf("%s.g%d.%s", c.Instance, c.Generation, s)
+}
+
+// commitName is the instance's generation-commit record name. Like memName
+// it is prefixed by Config.Instance, so co-resident engines keep disjoint
+// commit records; the bare name is preserved for single-instance systems
+// (every existing persisted layout).
+func (c Config) commitName() string {
+	if c.Instance == "" {
+		return commitMemName
+	}
+	return c.Instance + "." + commitMemName
+}
 
 // New builds a PREP-UC instance inside sys. In persistent modes it also
 // writes the initial checkpoint (empty persistent replicas plus metadata)
@@ -227,7 +243,7 @@ func newEngine(t *sim.Thread, sys *nvm.System, cfg Config) (*PREP, error) {
 		p.gctrl.Store(t, gActive, 0)
 		// The commit record spans generations, so only the first engine in a
 		// machine's lineage creates it; recovered generations attach.
-		p.commit = uc.EnsureCommitCell(sys, commitMemName, pn)
+		p.commit = uc.EnsureCommitCell(sys, cfg.commitName(), pn)
 		p.checkpoint(t)
 	}
 	return p, nil
@@ -241,11 +257,11 @@ func (p *PREP) commitGeneration(t *sim.Thread) {
 	p.commit.Commit(t, p.cfg.Generation)
 }
 
-// committedGeneration reads the persisted commit record, returning fallback
-// when the record is absent (a machine booted by a pre-commit-record build)
-// or unwritten.
-func committedGeneration(recSys *nvm.System, fallback int) int {
-	return uc.CommittedGeneration(recSys, commitMemName, fallback)
+// committedGeneration reads the instance's persisted commit record,
+// returning fallback when the record is absent (a machine booted by a
+// pre-commit-record build) or unwritten.
+func committedGeneration(recSys *nvm.System, cfg Config, fallback int) int {
+	return uc.CommittedGeneration(recSys, cfg.commitName(), fallback)
 }
 
 // checkpoint persists every persistent replica and the metadata word. With

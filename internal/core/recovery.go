@@ -94,7 +94,7 @@ func Recover(t *sim.Thread, recSys *nvm.System, oldCfg Config) (*PREP, *Recovery
 	rep := &RecoveryReport{}
 
 	srcCfg := oldCfg
-	srcCfg.Generation = committedGeneration(recSys, oldCfg.Generation)
+	srcCfg.Generation = committedGeneration(recSys, oldCfg, oldCfg.Generation)
 	rep.SourceGeneration = srcCfg.Generation
 
 	// Identify the stable persistent replica via p_activePReplica.

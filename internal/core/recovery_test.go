@@ -162,7 +162,7 @@ func TestCrashSweepInsideRecovery(t *testing.T) {
 // copy, so the next recovery attempt starts from corrupt state.
 func buggyRecoverInPlace(t *sim.Thread, recSys *nvm.System, cfg Config) {
 	srcCfg := cfg
-	srcCfg.Generation = committedGeneration(recSys, cfg.Generation)
+	srcCfg.Generation = committedGeneration(recSys, cfg, cfg.Generation)
 	meta := recSys.Memory(srcCfg.memName("meta"))
 	active := meta.Load(t, metaActive)
 	stable := 1 - active

@@ -192,7 +192,10 @@ type CheckStats struct {
 	Reason            string `json:"reason,omitempty"`
 }
 
-// ServeResult is one system's record in the prepuc-serve document.
+// ServeResult is one system's record in the prepuc-serve document. The
+// sharded fields are set only on aggregate records produced by
+// RunShardedServe; single-machine records (and each entry under Shards)
+// leave them empty.
 type ServeResult struct {
 	System    string      `json:"system"`
 	Submitted uint64      `json:"submitted"`
@@ -202,6 +205,15 @@ type ServeResult struct {
 	Ring      RingStats   `json:"ring"`
 	Crash     *CrashStats `json:"crash,omitempty"`
 	Check     *CheckStats `json:"check,omitempty"`
+	// Route is the key-partitioning policy of a sharded run. Imbalance is
+	// the hottest machine's completed share relative to a perfectly even
+	// split (1.0 = balanced; Zipf-skewed range partitions run hot).
+	Route     string  `json:"route,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+	// Shards holds the per-machine breakdowns; Composition the cross-shard
+	// composition verdict of a checked sharded run.
+	Shards      []*ShardServeResult `json:"shards,omitempty"`
+	Composition *CompositionStats   `json:"composition,omitempty"`
 }
 
 // serveTopo sizes the machine: consumers occupy worker slots, so the
@@ -326,8 +338,28 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res, _, err := runServeArrivals(d, cfg, arrivals)
+	return res, err
+}
+
+// serveRun exposes one machine's post-run internals to the sharded harness:
+// the final system and engine (post-recovery on crash runs) for state
+// probing, the measurement tally for histogram/endpoint merging, and the
+// ring-partitioned arrival schedule for zipping completion records back to
+// operations.
+type serveRun struct {
+	sys      *nvm.System
+	eng      uc.UC
+	ta       *tally
+	perShard [][]openloop.Arrival
+}
+
+// runServeArrivals is RunServe on a pre-generated arrival schedule: the
+// sharded harness partitions one global schedule across machines and runs
+// each machine through here.
+func runServeArrivals(d *ServeDriver, cfg ServeConfig, arrivals []openloop.Arrival) (*ServeResult, *serveRun, error) {
 	if len(arrivals) == 0 {
-		return nil, fmt.Errorf("serve: empty arrival schedule")
+		return nil, nil, fmt.Errorf("serve: empty arrival schedule")
 	}
 	// Shard the schedule by client (order within a shard stays time-sorted).
 	perShard := make([][]openloop.Arrival, cfg.Shards)
@@ -343,7 +375,7 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	}
 	pol, err := fault.Parse(cfg.Policy, uint64(cfg.Seed)+11)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Boot: construction plus generation-0 service rings.
@@ -370,7 +402,7 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	})
 	bootSch.Run()
 	if err != nil {
-		return nil, fmt.Errorf("serve: boot %s: %w", d.Name, err)
+		return nil, nil, fmt.Errorf("serve: boot %s: %w", d.Name, err)
 	}
 
 	// Phase A: open-loop load, optionally cut short by the crash.
@@ -391,13 +423,13 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	res := &ServeResult{System: d.Name}
 	if cfg.CrashAtNS == 0 || !sch.Frozen() {
 		if cfg.CrashAtNS > 0 {
-			return nil, fmt.Errorf("serve: %s: crash at %d ns never fired (load drained first)", d.Name, cfg.CrashAtNS)
+			return nil, nil, fmt.Errorf("serve: %s: crash at %d ns never fired (load drained first)", d.Name, cfg.CrashAtNS)
 		}
 		finish(res, cfg.Shards, s, nil, sys, ta, 0)
 		if cfg.Check {
 			res.Check = steadyCheck(d, cfg, sys, engA, perShard, ta)
 		}
-		return res, nil
+		return res, &serveRun{sys: sys, eng: engA, ta: ta, perShard: perShard}, nil
 	}
 
 	// Crash cut: read the generation-0 tallies. Completion order equals
@@ -450,7 +482,7 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 			continue
 		}
 		if err != nil {
-			return nil, fmt.Errorf("serve: recover %s: %w", d.Name, err)
+			return nil, nil, fmt.Errorf("serve: recover %s: %w", d.Name, err)
 		}
 		break
 	}
@@ -528,7 +560,7 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	spawnServicePhase(schB, tp, s2, d, cfg, phaseB, make([]int, cfg.Shards), resumeNS)
 	schB.Run()
 	if schB.Frozen() {
-		return nil, fmt.Errorf("serve: %s: phase B froze unexpectedly", d.Name)
+		return nil, nil, fmt.Errorf("serve: %s: phase B froze unexpectedly", d.Name)
 	}
 
 	if ta.firstB > cfg.CrashAtNS {
@@ -542,7 +574,7 @@ func RunServe(d *ServeDriver, cfg ServeConfig) (*ServeResult, error) {
 	if cfg.Check {
 		res.Check = crashCheck(d, cfg, cur, engB, perShard, phaseB, resume, submitted, drained, info, recState, ta)
 	}
-	return res, nil
+	return res, &serveRun{sys: cur, eng: engB, ta: ta, perShard: perShard}, nil
 }
 
 // spawnServicePhase spawns one phase's consumers and injectors: consumer
@@ -760,6 +792,65 @@ func ServeDrivers(shards int, epsilon uint64) []*ServeDriver {
 		softServeDriver(),
 		onllServeDriver(shards, hashmap),
 	}
+}
+
+// ServeSystem names one construction the sharded harness can deploy. New
+// builds a fresh driver per machine: driver closures hold per-machine engine
+// state (SpawnAux/StopAux address the live engine), so independent machines
+// can never share a driver instance.
+type ServeSystem struct {
+	Name string
+	// SteadyOnly marks a construction without a recovery path (PREP-Volatile,
+	// the scaling headline's engine): it cannot be placed in a crash set.
+	SteadyOnly bool
+	New        func(shards int, epsilon uint64) *ServeDriver
+}
+
+// ServeSystems lists every construction the sharded serve harness can run:
+// the five recoverable ServeDrivers plus PREP-Volatile. (ServeDrivers keeps
+// returning exactly the five recoverable ones — the single-machine crash
+// matrix is unchanged.)
+func ServeSystems() []ServeSystem {
+	hashmap := seq.HashMapType(256)
+	return []ServeSystem{
+		{Name: "PREP-Volatile", SteadyOnly: true, New: func(shards int, _ uint64) *ServeDriver {
+			return prepVolatileServeDriver(shards, hashmap)
+		}},
+		{Name: "PREP-Durable", New: func(shards int, epsilon uint64) *ServeDriver {
+			return prepServeDriver("PREP-Durable", core.Durable, shards, epsilon, hashmap)
+		}},
+		{Name: "PREP-Buffered", New: func(shards int, epsilon uint64) *ServeDriver {
+			return prepServeDriver("PREP-Buffered", core.Buffered, shards, epsilon, hashmap)
+		}},
+		{Name: "CX-PUC", New: func(shards int, _ uint64) *ServeDriver {
+			return cxServeDriver(shards, hashmap)
+		}},
+		{Name: "SOFT", New: func(_ int, _ uint64) *ServeDriver {
+			return softServeDriver()
+		}},
+		{Name: "ONLL", New: func(shards int, _ uint64) *ServeDriver {
+			return onllServeDriver(shards, hashmap)
+		}},
+	}
+}
+
+// prepVolatileServeDriver wires volatile-mode PREP-UC: no persistence
+// thread, no descriptors, no recovery — the pure combiner pipeline whose
+// aggregate throughput the sharded scaling figure measures.
+func prepVolatileServeDriver(shards int, obj uc.ObjectType) *ServeDriver {
+	cfg := core.Config{
+		Mode: core.Volatile, Topology: serveTopo(shards), Workers: shards,
+		LogSize: 4096,
+		Factory: obj.New, Attacher: obj.Attach, HeapWords: 1 << 21,
+	}
+	d := &ServeDriver{Name: "PREP-Volatile"}
+	d.Boot = func(t *sim.Thread, sys *nvm.System) (uc.UC, error) {
+		return core.New(t, sys, cfg)
+	}
+	d.Recover = func(t *sim.Thread, recSys *nvm.System) (uc.UC, RecoverInfo, error) {
+		return nil, RecoverInfo{}, fmt.Errorf("serve: PREP-Volatile cannot recover")
+	}
+	return d
 }
 
 // prepServeDriver wires PREP-UC: the only driver with auxiliary threads

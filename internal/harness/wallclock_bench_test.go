@@ -1,6 +1,10 @@
 package harness
 
-import "testing"
+import (
+	"testing"
+
+	"prepuc/internal/openloop"
+)
 
 // BenchmarkFig1aCell runs one fig1a experiment cell (PREP-V, 8 workers,
 // small-scale duration) end to end: boot, prefill, measure. It is the
@@ -14,6 +18,30 @@ func BenchmarkFig1aCell(b *testing.B) {
 	algo := fig.Algos[0]
 	for i := 0; i < b.N; i++ {
 		if _, err := runPoint(fig, sc, algo, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedServeCell runs one sharded serve cell end to end — a
+// 4-machine PREP-Durable deployment absorbing the steady open-loop
+// schedule serially (Jobs=1, so ns/op is the real per-cell host cost, not
+// divided across cores). It is the wall-clock price of the sharded
+// harness recorded in BENCH_wallclock.json and guarded by the CI
+// bench-smoke at the same 2x threshold.
+func BenchmarkShardedServeCell(b *testing.B) {
+	b.ReportAllocs()
+	cfg := ShardedServeConfig{
+		Instances: 4, Route: "hash", TotalWorkers: 4,
+		RingSize: 256, MaxBatch: 32, Batched: true, Seed: 5, Jobs: 1,
+		Open: openloop.Config{
+			Clients: 20_000, Keys: 1 << 12, KeySkew: 1.2, ReadPct: 80,
+			Rate: 4e6, DurationNS: 400_000, ThinkNS: 20_000, Seed: 99,
+		},
+	}
+	mk := func() *ServeDriver { return ServeDrivers(1, 64)[0] }
+	for i := 0; i < b.N; i++ {
+		if _, err := RunShardedServe(mk, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

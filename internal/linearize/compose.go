@@ -1,0 +1,75 @@
+package linearize
+
+// compose.go — the cross-shard composition check for the sharded
+// deployment. Each shard of a sharded PREP-UC is a fully independent
+// machine whose own history passes CheckEpoch; composing those verdicts
+// into one for the whole deployment needs exactly one extra invariant: the
+// router is a pure function of the key and every effect lives on the key's
+// owner. Then the composed history decomposes into disjoint per-key
+// sub-histories, each wholly inside one shard's already-checked timeline,
+// and per-key-independent semantics (the set models) impose no cross-shard
+// ordering obligation — composition needs no global fence or merged clock.
+// CheckComposition audits that invariant from the recorded data: no
+// operation recorded against shard s keys to shard t, and no key probed
+// from shard s's final state belongs to shard t.
+
+import "fmt"
+
+// ShardHistory is one shard's contribution to a composition check.
+type ShardHistory struct {
+	// Shard is the index the router is expected to map this history's keys
+	// to.
+	Shard int
+	// Ops is every operation recorded against the shard (any Class); the
+	// audit consults only the key, Op.A0 — callers use key-partitioned
+	// models where A0 is the key of every routed operation.
+	Ops []Op
+	// Final is the shard's probed final (or recovered) state, key → value.
+	Final map[uint64]uint64
+}
+
+// CompositionResult is CheckComposition's verdict.
+type CompositionResult struct {
+	OK     bool `json:"ok"`
+	Shards int  `json:"shards"`
+	// OpsAudited / KeysProbed size the audit.
+	OpsAudited int `json:"ops_audited"`
+	KeysProbed int `json:"keys_probed"`
+	// MisroutedOps counts operations recorded against a shard the router
+	// does not own their key on — traffic that leaked past the router.
+	MisroutedOps int `json:"misrouted_ops"`
+	// ForeignKeys counts keys present in a shard's final state that the
+	// router assigns to a different shard — an op routed to shard s whose
+	// effect shard t's state explains.
+	ForeignKeys int    `json:"foreign_keys"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// CheckComposition verifies the sharded deployment's composition invariant
+// over per-shard histories that have each already passed their own epoch
+// checks: every recorded operation keys to its recording shard, and every
+// key in a shard's probed state is owned by that shard. route must be the
+// deployment's actual routing function (pure in the key).
+func CheckComposition(route func(key uint64) int, shards []ShardHistory) CompositionResult {
+	res := CompositionResult{OK: true, Shards: len(shards)}
+	for _, sh := range shards {
+		for i := range sh.Ops {
+			res.OpsAudited++
+			if route(sh.Ops[i].A0) != sh.Shard {
+				res.MisroutedOps++
+			}
+		}
+		for k := range sh.Final {
+			res.KeysProbed++
+			if route(k) != sh.Shard {
+				res.ForeignKeys++
+			}
+		}
+	}
+	if res.MisroutedOps > 0 || res.ForeignKeys > 0 {
+		res.OK = false
+		res.Reason = fmt.Sprintf("%d misrouted ops, %d foreign keys",
+			res.MisroutedOps, res.ForeignKeys)
+	}
+	return res
+}

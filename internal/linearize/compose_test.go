@@ -1,0 +1,63 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+
+	"prepuc/internal/uc"
+)
+
+func composeFixture() (func(uint64) int, []ShardHistory) {
+	route := func(k uint64) int { return int(k % 2) }
+	mk := func(shard int, keys ...uint64) ShardHistory {
+		sh := ShardHistory{Shard: shard, Final: map[uint64]uint64{}}
+		for i, k := range keys {
+			sh.Ops = append(sh.Ops, Op{
+				Client: shard, Code: uc.OpInsert, A0: k, A1: k + 1,
+				Invoke: uint64(i), Return: uint64(i) + 1, Class: Completed,
+			})
+			sh.Final[k] = k + 1
+		}
+		return sh
+	}
+	return route, []ShardHistory{mk(0, 0, 2, 4), mk(1, 1, 3, 5)}
+}
+
+func TestCompositionClean(t *testing.T) {
+	route, shards := composeFixture()
+	res := CheckComposition(route, shards)
+	if !res.OK {
+		t.Fatalf("clean composition rejected: %+v", res)
+	}
+	if res.Shards != 2 || res.OpsAudited != 6 || res.KeysProbed != 6 {
+		t.Errorf("audit sizing: %+v", res)
+	}
+	if res.MisroutedOps != 0 || res.ForeignKeys != 0 || res.Reason != "" {
+		t.Errorf("clean run reported violations: %+v", res)
+	}
+}
+
+// TestCompositionForeignKey plants the exact failure the ISSUE names: an op
+// routed to shard s whose effect is explained by shard t's state.
+func TestCompositionForeignKey(t *testing.T) {
+	route, shards := composeFixture()
+	shards[1].Final[8] = 9 // even key in the odd shard's state
+	res := CheckComposition(route, shards)
+	if res.OK || res.ForeignKeys != 1 || res.MisroutedOps != 0 {
+		t.Fatalf("planted foreign key not caught: %+v", res)
+	}
+	if !strings.Contains(res.Reason, "1 foreign key") {
+		t.Errorf("reason %q does not name the foreign key", res.Reason)
+	}
+}
+
+func TestCompositionMisroutedOp(t *testing.T) {
+	route, shards := composeFixture()
+	shards[0].Ops = append(shards[0].Ops, Op{
+		Client: 0, Code: uc.OpGet, A0: 7, Invoke: 9, Return: 10, Class: Completed,
+	})
+	res := CheckComposition(route, shards)
+	if res.OK || res.MisroutedOps != 1 || res.ForeignKeys != 0 {
+		t.Fatalf("planted misrouted op not caught: %+v", res)
+	}
+}

@@ -191,6 +191,16 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 	return finish(subCounters(s.Counters, base.Counters))
 }
 
+// Add returns the field-wise sum s + other with derived fields recomputed
+// over the sum — the cross-instance aggregation primitive of the sharded
+// harness: S independent machines each own a registry, and the aggregate
+// record is the Add-fold of their snapshots. Like Sub it is field-complete
+// by reflection, so a newly added counter can never silently be dropped
+// from aggregates.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	return finish(addCounters(s.Counters, other.Counters))
+}
+
 // Wire is Counters.Wire lifted to a snapshot: the result survives a JSON
 // round-trip unchanged.
 func (s Snapshot) Wire() Snapshot {
@@ -211,16 +221,26 @@ func finish(c Counters) Snapshot {
 // with the field list (a new counter can never be forgotten here). This is a
 // cold path — once per measured point — so reflection cost is irrelevant.
 func subCounters(a, b Counters) Counters {
+	return combineCounters(a, b, func(x, y uint64) uint64 { return x - y })
+}
+
+// addCounters sums a and b field-wise, with the same reflection-enforced
+// field completeness as subCounters.
+func addCounters(a, b Counters) Counters {
+	return combineCounters(a, b, func(x, y uint64) uint64 { return x + y })
+}
+
+func combineCounters(a, b Counters, op func(x, y uint64) uint64) Counters {
 	va := reflect.ValueOf(&a).Elem()
 	vb := reflect.ValueOf(b)
 	for i := 0; i < va.NumField(); i++ {
 		fa, fb := va.Field(i), vb.Field(i)
 		switch fa.Kind() {
 		case reflect.Uint64:
-			fa.SetUint(fa.Uint() - fb.Uint())
+			fa.SetUint(op(fa.Uint(), fb.Uint()))
 		case reflect.Array:
 			for j := 0; j < fa.Len(); j++ {
-				fa.Index(j).SetUint(fa.Index(j).Uint() - fb.Index(j).Uint())
+				fa.Index(j).SetUint(op(fa.Index(j).Uint(), fb.Index(j).Uint()))
 			}
 		default:
 			panic("metrics: unsupported Counters field kind " + fa.Kind().String())

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -79,6 +80,86 @@ func TestSubCoversEveryField(t *testing.T) {
 	s := r.Snapshot()
 	if d := s.Sub(s); d != (Snapshot{}) {
 		t.Errorf("s.Sub(s) = %+v, want zero", d)
+	}
+}
+
+// TestAddIsFieldComplete proves Add sums *every* Counters field exactly,
+// via reflection: each scalar field (and array element) of the operands is
+// set to a distinct nonzero value, and the sum is verified field by field.
+// A field Add skipped would surface as its a-value instead of a+b — so a
+// future counter cannot silently be dropped from cross-shard aggregates.
+func TestAddIsFieldComplete(t *testing.T) {
+	var a, b Counters
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(&b).Elem()
+	next := uint64(1)
+	fill := func(v reflect.Value) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Uint64:
+				f.SetUint(next)
+				next++
+			case reflect.Array:
+				for j := 0; j < f.Len(); j++ {
+					f.Index(j).SetUint(next)
+					next++
+				}
+			default:
+				t.Fatalf("unsupported Counters field kind %v", f.Kind())
+			}
+		}
+	}
+	fill(va)
+	fill(vb)
+
+	sum := Snapshot{Counters: a}.Add(Snapshot{Counters: b})
+	vs := reflect.ValueOf(sum.Counters)
+	fields := 0
+	for i := 0; i < vs.NumField(); i++ {
+		fs, fa, fb := vs.Field(i), va.Field(i), vb.Field(i)
+		name := vs.Type().Field(i).Name
+		switch fs.Kind() {
+		case reflect.Uint64:
+			fields++
+			if fs.Uint() != fa.Uint()+fb.Uint() {
+				t.Errorf("%s = %d, want %d+%d", name, fs.Uint(), fa.Uint(), fb.Uint())
+			}
+		case reflect.Array:
+			for j := 0; j < fs.Len(); j++ {
+				fields++
+				if fs.Index(j).Uint() != fa.Index(j).Uint()+fb.Index(j).Uint() {
+					t.Errorf("%s[%d] = %d, want %d+%d", name, j,
+						fs.Index(j).Uint(), fa.Index(j).Uint(), fb.Index(j).Uint())
+				}
+			}
+		}
+	}
+	if want := int(next - 1); fields*2 != want {
+		t.Errorf("verified %d scalar slots, but %d were filled", fields*2, want)
+	}
+
+	// Derived fields are recomputed over the sum, not added.
+	if sum.Flushes != sum.FlushAsync+sum.FlushSync {
+		t.Errorf("Flushes = %d, want %d", sum.Flushes, sum.FlushAsync+sum.FlushSync)
+	}
+	if want := float64(sum.CombinedOps) / float64(sum.CombinerAcquisitions); sum.MeanBatchSize != want {
+		t.Errorf("MeanBatchSize = %f, want %f", sum.MeanBatchSize, want)
+	}
+}
+
+// TestAddSubRoundTrip: (a+b)−b must be exactly a for every field.
+func TestAddSubRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Loads, r.Fences, r.DedupHits = 10, 20, 30
+	r.ObserveBatch(4)
+	a := r.Snapshot()
+	r2 := NewRegistry()
+	r2.Loads, r2.Stores, r2.RingSubmits = 7, 8, 9
+	r2.ObserveBatch(2)
+	b := r2.Snapshot()
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("(a+b)-b = %+v, want %+v", got, a)
 	}
 }
 

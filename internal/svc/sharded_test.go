@@ -1,0 +1,235 @@
+package svc_test
+
+import (
+	"strings"
+	"testing"
+
+	"prepuc/internal/core"
+	"prepuc/internal/nvm"
+	"prepuc/internal/seq"
+	"prepuc/internal/sim"
+	"prepuc/internal/svc"
+	"prepuc/internal/uc"
+)
+
+// TestPerRingEngines binds each submission ring to its own engine
+// (Config.Engines): two independent volatile PREP instances co-reside on one
+// system via core.Config.Instance, ring s drains into engine s, and a routed
+// client dispatches each operation by key parity. Afterwards each engine
+// must hold exactly the keys routed to it — the routing invariant at the
+// single-machine scale.
+func TestPerRingEngines(t *testing.T) {
+	const producers, per = 4, 60
+	route := func(op uc.Op) int { return int(op.A0 % 2) }
+
+	sch := sim.New(31)
+	sys := nvm.NewSystem(sch, nvm.Config{Costs: sim.UnitCosts()})
+	obj := seq.HashMapType(64)
+	engines := make([]*core.PREP, 2)
+	var s *svc.Service
+	var err error
+	sch.Spawn("boot", 0, 0, func(th *sim.Thread) {
+		for i := range engines {
+			engines[i], err = core.New(th, sys, core.Config{
+				Mode: core.Volatile, Topology: topo(), Workers: 2,
+				LogSize: 1024,
+				Factory: obj.New, Attacher: obj.Attach, HeapWords: 1 << 20,
+				Instance: []string{"e0", "e1"}[i],
+			})
+			if err != nil {
+				return
+			}
+		}
+		s, err = svc.New(th, sys, svc.Config{
+			Engines: []uc.UC{engines[0], engines[1]}, Topology: topo(),
+			Shards: 2, RingSize: 256, MaxBatch: 32, Batched: true,
+		})
+	})
+	sch.Run()
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+
+	run := sim.New(32)
+	sys.SetScheduler(run)
+	for shard := 0; shard < 2; shard++ {
+		shard := shard
+		run.Spawn("consumer", topo().NodeOf(shard), 0, func(th *sim.Thread) {
+			s.Serve(th, shard)
+		})
+	}
+	producersLive := producers
+	for pid := 0; pid < producers; pid++ {
+		pid := pid
+		run.Spawn("producer", topo().NodeOf(pid%8), 0, func(th *sim.Thread) {
+			rc := s.Routed(route)
+			for i := uint64(0); i < per; i++ {
+				k := uint64(pid)*1000 + i
+				f := rc.Submit(th, uc.Insert(k, k+3))
+				if got := f.Wait(th); got != 1 {
+					t.Errorf("insert(%d) = %d, want 1", k, got)
+				}
+			}
+			producersLive--
+			if producersLive == 0 {
+				s.Stop()
+			}
+		})
+	}
+	run.Run()
+
+	// Per-ring tallies must cover exactly the routed traffic.
+	routed := [2]uint64{}
+	for pid := 0; pid < producers; pid++ {
+		for i := uint64(0); i < per; i++ {
+			routed[(uint64(pid)*1000+i)%2]++
+		}
+	}
+	for shard := 0; shard < 2; shard++ {
+		c := s.Client(shard)
+		if c.Submitted() != routed[shard] || c.Completed() != routed[shard] {
+			t.Errorf("ring %d: submitted/completed = %d/%d, want %d",
+				shard, c.Submitted(), c.Completed(), routed[shard])
+		}
+	}
+
+	// Each engine holds its partition and nothing else.
+	check := sim.New(33)
+	sys.SetScheduler(check)
+	check.Spawn("inspect", 0, 0, func(th *sim.Thread) {
+		for e := 0; e < 2; e++ {
+			if got := engines[e].Execute(th, 0, uc.Size()); got != routed[e] {
+				t.Errorf("engine %d size = %d, want %d", e, got, routed[e])
+			}
+		}
+		for pid := 0; pid < producers; pid++ {
+			for i := uint64(0); i < per; i++ {
+				k := uint64(pid)*1000 + i
+				own, other := engines[k%2], engines[1-k%2]
+				if got := own.Execute(th, 0, uc.Get(k)); got != k+3 {
+					t.Errorf("owning engine missing key %d: got %d", k, got)
+				}
+				if got := other.Execute(th, 0, uc.Get(k)); got != uc.NotFound {
+					t.Errorf("foreign engine holds key %d", k)
+				}
+			}
+		}
+	})
+	check.Run()
+}
+
+// TestEngineConfigValidation: exactly one of Engine/Engines, with matching
+// lengths.
+func TestEngineConfigValidation(t *testing.T) {
+	sch := sim.New(41)
+	sys := nvm.NewSystem(sch, nvm.Config{})
+	obj := seq.HashMapType(64)
+	var eng *core.PREP
+	var err error
+	sch.Spawn("boot", 0, 0, func(th *sim.Thread) {
+		eng, err = core.New(th, sys, core.Config{
+			Mode: core.Volatile, Topology: topo(), Workers: 2,
+			LogSize: 64, Factory: obj.New, Attacher: obj.Attach, HeapWords: 1 << 16,
+		})
+		if err != nil {
+			return
+		}
+		base := svc.Config{Topology: topo(), Shards: 2, RingSize: 16}
+		cases := []struct {
+			name string
+			mut  func(*svc.Config)
+		}{
+			{"neither", func(c *svc.Config) {}},
+			{"both", func(c *svc.Config) { c.Engine = eng; c.Engines = []uc.UC{eng, eng} }},
+			{"short", func(c *svc.Config) { c.Engines = []uc.UC{eng} }},
+		}
+		for _, tc := range cases {
+			cfg := base
+			tc.mut(&cfg)
+			if _, e := svc.New(th, sys, cfg); e == nil {
+				t.Errorf("%s: config accepted", tc.name)
+			}
+		}
+		cfg := base
+		cfg.Engines = []uc.UC{eng, eng} // a ring group over one engine is legal
+		if _, e := svc.New(th, sys, cfg); e != nil {
+			t.Errorf("ring group rejected: %v", e)
+		}
+	})
+	sch.Run()
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+}
+
+// TestInvocationIDBounds documents exactly why the packing needs guards: a
+// shard or sequence component one past its field ceiling aliases a DIFFERENT
+// valid (epoch, shard, seq) triple — two operations, one id — and asserts
+// that svc.New rejects configurations that could reach those ceilings.
+func TestInvocationIDBounds(t *testing.T) {
+	// All-extremes corners stay distinct inside the valid ranges.
+	ids := map[uint64]string{}
+	for _, e := range []uint64{0, svc.MaxInvidEpoch} {
+		for _, s := range []int{0, svc.MaxInvidShard} {
+			for _, q := range []uint64{0, svc.MaxInvidSeq} {
+				id := svc.InvocationID(e, s, q)
+				if id == 0 {
+					t.Errorf("InvocationID(%d,%d,%d) = 0 (reserved for non-detectable)", e, s, q)
+				}
+				if prev, dup := ids[id]; dup {
+					t.Errorf("InvocationID(%d,%d,%d) collides with %s", e, s, q, prev)
+				}
+				ids[id] = "earlier corner"
+			}
+		}
+	}
+
+	// One past the seq field: wraps into a collision with seq 0.
+	if svc.InvocationID(0, 0, svc.MaxInvidSeq+2) != svc.InvocationID(0, 0, 0) {
+		t.Error("expected seq overflow to alias seq 0 (packing changed? update guards)")
+	}
+	// Two past the shard field: wraps into a collision with shard 0.
+	if svc.InvocationID(0, svc.MaxInvidShard+2, 9) != svc.InvocationID(0, 0, 9) {
+		t.Error("expected shard overflow to alias shard 0 (packing changed? update guards)")
+	}
+
+	// New refuses detectable configs whose ids could corrupt.
+	sch := sim.New(51)
+	sys := nvm.NewSystem(sch, nvm.Config{})
+	obj := seq.HashMapType(64)
+	sch.Spawn("boot", 0, 0, func(th *sim.Thread) {
+		eng, err := core.New(th, sys, core.Config{
+			Mode: core.Volatile, Topology: topo(), Workers: 2,
+			LogSize: 64, Factory: obj.New, Attacher: obj.Attach, HeapWords: 1 << 16,
+		})
+		if err != nil {
+			t.Errorf("core.New: %v", err)
+			return
+		}
+		_, err = svc.New(th, sys, svc.Config{
+			Engine: eng, Topology: topo(), Shards: svc.MaxInvidShard + 2,
+			RingSize: 16, Detect: true,
+		})
+		if err == nil || !strings.Contains(err.Error(), "invocation-id") {
+			t.Errorf("oversized shard count: err = %v, want invocation-id bound error", err)
+		}
+		_, err = svc.New(th, sys, svc.Config{
+			Engine: eng, Topology: topo(), Shards: 2,
+			RingSize: 16, Detect: true, InvidEpoch: svc.MaxInvidEpoch + 1,
+		})
+		if err == nil || !strings.Contains(err.Error(), "invocation-id") {
+			t.Errorf("oversized epoch: err = %v, want invocation-id bound error", err)
+		}
+		// The same configurations without Detect are legal: no ids are
+		// stamped, so the packing cannot corrupt. (Shard count kept small —
+		// ring memories are real.)
+		_, err = svc.New(th, sys, svc.Config{
+			Engine: eng, Topology: topo(), Shards: 2,
+			RingSize: 16, InvidEpoch: svc.MaxInvidEpoch + 1,
+		})
+		if err != nil {
+			t.Errorf("non-detect config rejected: %v", err)
+		}
+	})
+	sch.Run()
+}

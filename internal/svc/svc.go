@@ -43,11 +43,33 @@ const (
 	entryInvid  = 4
 )
 
+// InvocationID packing widths: epoch+1 occupies the top 8 bits, shard+1 the
+// next 16, seq+1 the low 40. A component past its ceiling would silently
+// alias another (epoch, shard, seq) triple — two distinct operations with
+// one invocation id, which breaks the exactly-once dedup — so New and the
+// stamp path reject out-of-range components instead of wrapping.
+const (
+	// MaxInvidEpoch is the largest valid Config.InvidEpoch (epoch+1 must
+	// fit 8 bits).
+	MaxInvidEpoch = 1<<8 - 2
+	// MaxInvidShard is the largest valid shard index (shard+1 must fit 16
+	// bits), so a detectable service holds at most MaxInvidShard+1 rings.
+	MaxInvidShard = 1<<16 - 2
+	// MaxInvidSeq is the largest valid per-shard sequence number (seq+1
+	// must fit 40 bits): ~1.1e12 operations per ring per epoch.
+	MaxInvidSeq = 1<<40 - 2
+)
+
 // InvocationID builds the client-assigned invocation id for the seq-th
 // operation submitted on shard during service epoch epoch. Every component
 // is biased by one so a valid id is never zero (zero means "not
 // detectable" to the engine), and the epoch salt keeps ids from distinct
 // service generations — e.g. before and after a crash — disjoint.
+//
+// Components must respect MaxInvidEpoch/MaxInvidShard/MaxInvidSeq; the
+// packing silently corrupts beyond them. New validates epoch and shard
+// bounds up front, the submit path checks seq — callers building ids by
+// hand (recovery resume plans) stay inside the ranges New accepted.
 func InvocationID(epoch uint64, shard int, seq uint64) uint64 {
 	return (epoch+1)<<56 | (uint64(shard)+1)<<40 | (seq + 1)
 }
@@ -88,7 +110,7 @@ type Future struct {
 	// window; history checkers want it.
 	ExecNS uint64
 
-	svc *Service
+	r *ring // the submission ring (and engine binding) that carried the op
 }
 
 // Wait blocks (spinning in virtual time) until the future completes and
@@ -106,8 +128,8 @@ func (f *Future) Wait(t *sim.Thread) uint64 {
 // For constructions without a DurabilityWaiter it is identical to Wait.
 func (f *Future) Durable(t *sim.Thread) uint64 {
 	res := f.Wait(t)
-	if f.svc.waiter != nil && f.Mark != 0 {
-		f.svc.waiter.AwaitDurable(t, f.Mark)
+	if f.r.waiter != nil && f.Mark != 0 {
+		f.r.waiter.AwaitDurable(t, f.Mark)
 	}
 	return res
 }
@@ -116,7 +138,17 @@ func (f *Future) Durable(t *sim.Thread) uint64 {
 type Config struct {
 	// Engine executes operations; if it also implements Batcher, drained
 	// batches go through ExecuteBatch, otherwise one Execute per op.
+	// Exactly one of Engine and Engines must be set.
 	Engine uc.UC
+	// Engines binds each submission ring to its own engine: ring s drains
+	// into Engines[s] — S independent combiner pipelines behind one service
+	// front-end, the sharded deployment's single-machine form. Length must
+	// equal Shards. Each engine's batched path (Batcher) and durability
+	// barrier (DurabilityWaiter) are resolved independently. When set,
+	// producers are expected to route operations to rings by key
+	// (Service.Routed); nothing enforces it here — the routing invariant is
+	// the router's contract, checked end to end by linearize.CheckComposition.
+	Engines []uc.UC
 	// Topology places each shard's ring on the consumer's node.
 	Topology numa.Topology
 	// Shards is the number of submission rings (and consumer threads).
@@ -153,18 +185,22 @@ type Config struct {
 // Service owns the per-shard submission rings.
 type Service struct {
 	cfg     Config
-	batcher Batcher // nil when disabled or unimplemented
-	waiter  DurabilityWaiter
 	met     *metrics.Registry
 	rings   []*ring
 	stopped bool
 }
 
-// ring is one shard's MPSC submission queue plus its host-side future table.
+// ring is one shard's MPSC submission queue plus its host-side future table
+// and engine binding (per-ring with Config.Engines, shared otherwise).
 type ring struct {
 	mem     *nvm.Memory
 	size    uint64
 	futures []*Future
+	// eng executes the ring's operations; batcher is its batched path (nil
+	// when disabled or unimplemented), waiter its durability barrier.
+	eng     uc.UC
+	batcher Batcher
+	waiter  DurabilityWaiter
 	// submitted, drained and completed are host-side tallies the crash
 	// harness reads to size the in-flight window at a crash cut: entries in
 	// [completed, drained) had reached the engine, entries in
@@ -190,6 +226,24 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) (*Service, error) {
 	if cfg.RingSize == 0 || cfg.RingSize&(cfg.RingSize-1) != 0 {
 		return nil, fmt.Errorf("svc: RingSize must be a power of two, got %d", cfg.RingSize)
 	}
+	if (cfg.Engine == nil) == (cfg.Engines == nil) {
+		return nil, fmt.Errorf("svc: exactly one of Engine and Engines must be set")
+	}
+	if cfg.Engines != nil && len(cfg.Engines) != cfg.Shards {
+		return nil, fmt.Errorf("svc: %d engines for %d rings (lengths must match)",
+			len(cfg.Engines), cfg.Shards)
+	}
+	if cfg.Detect {
+		// Reject packings InvocationID would corrupt (see MaxInvid*).
+		if cfg.Shards-1 > MaxInvidShard {
+			return nil, fmt.Errorf("svc: %d shards exceed the invocation-id shard field (max %d)",
+				cfg.Shards, MaxInvidShard+1)
+		}
+		if cfg.InvidEpoch > MaxInvidEpoch {
+			return nil, fmt.Errorf("svc: InvidEpoch %d exceeds the invocation-id epoch field (max %d)",
+				cfg.InvidEpoch, MaxInvidEpoch)
+		}
+	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
@@ -197,18 +251,24 @@ func New(t *sim.Thread, sys *nvm.System, cfg Config) (*Service, error) {
 		cfg.NamePrefix = "svc"
 	}
 	s := &Service{cfg: cfg, met: sys.Metrics()}
-	if cfg.Batched {
-		s.batcher, _ = cfg.Engine.(Batcher)
-	}
-	s.waiter, _ = cfg.Engine.(DurabilityWaiter)
 	for shard := 0; shard < cfg.Shards; shard++ {
+		eng := cfg.Engine
+		if cfg.Engines != nil {
+			eng = cfg.Engines[shard]
+		}
 		mem := sys.NewMemory(fmt.Sprintf("%s.ring%d", cfg.NamePrefix, shard),
 			nvm.Volatile, cfg.Topology.NodeOf(shard), ringEntries+cfg.RingSize*entryWords)
-		s.rings = append(s.rings, &ring{
+		r := &ring{
 			mem:     mem,
 			size:    cfg.RingSize,
 			futures: make([]*Future, cfg.RingSize),
-		})
+			eng:     eng,
+		}
+		if cfg.Batched {
+			r.batcher, _ = eng.(Batcher)
+		}
+		r.waiter, _ = eng.(DurabilityWaiter)
+		s.rings = append(s.rings, r)
 	}
 	return s, nil
 }
@@ -226,6 +286,38 @@ func (s *Service) Client(shard int) *Client {
 	return &Client{svc: s, shard: shard, r: s.rings[shard]}
 }
 
+// RoutedClient dispatches each submission to a ring chosen from the
+// operation's key — the client-side half of the sharded deployment: the
+// route function (typically shard.Router.RouteOp) is pure host-side state,
+// so routing costs no virtual time, exactly like a client library picking a
+// connection before the request leaves the process.
+type RoutedClient struct {
+	clients []*Client
+	route   func(op uc.Op) int
+}
+
+// Routed returns a routing submission handle over all of the service's
+// rings. route must return an index in [0, Shards) for every operation.
+func (s *Service) Routed(route func(op uc.Op) int) *RoutedClient {
+	rc := &RoutedClient{route: route}
+	for shard := 0; shard < s.cfg.Shards; shard++ {
+		rc.clients = append(rc.clients, s.Client(shard))
+	}
+	return rc
+}
+
+// TrySubmit routes op by its key and attempts to enqueue it on the owning
+// shard's ring.
+func (rc *RoutedClient) TrySubmit(t *sim.Thread, op uc.Op, arrivalNS uint64) (*Future, bool) {
+	return rc.clients[rc.route(op)].TrySubmit(t, op, arrivalNS)
+}
+
+// Submit routes op by its key and enqueues it on the owning shard's ring,
+// blocking while that ring is full.
+func (rc *RoutedClient) Submit(t *sim.Thread, op uc.Op) *Future {
+	return rc.clients[rc.route(op)].Submit(t, op)
+}
+
 // TrySubmit attempts to enqueue op, stamping the future with arrivalNS. It
 // fails (nil, false) when the ring is full — open-loop injectors keep their
 // own overflow queue rather than blocking the arrival timeline.
@@ -240,13 +332,16 @@ func (c *Client) TrySubmit(t *sim.Thread, op uc.Op, arrivalNS uint64) (*Future, 
 		if !r.mem.CAS(t, ringTail, tail, tail+1) {
 			continue
 		}
-		f := &Future{svc: c.svc, ArrivalNS: arrivalNS}
+		f := &Future{r: r, ArrivalNS: arrivalNS}
 		r.futures[tail%r.size] = f
 		off := r.entryOff(tail)
 		r.mem.Store(t, off+entryCode, op.Code)
 		r.mem.Store(t, off+entryA0, op.A0)
 		r.mem.Store(t, off+entryA1, op.A1)
 		if c.svc.cfg.Detect {
+			if tail > MaxInvidSeq {
+				panic("svc: per-shard sequence number exceeds the invocation-id seq field")
+			}
 			f.Invid = InvocationID(c.svc.cfg.InvidEpoch, c.shard, tail)
 			r.mem.Store(t, off+entryInvid, f.Invid)
 		}
@@ -284,7 +379,10 @@ const serveIdleCost = 200
 
 // Serve is shard's consumer loop: drain up to MaxBatch contiguous submitted
 // entries, execute them as one batch, complete the futures, repeat. It runs
-// as worker tid shard and returns after Stop once the ring is empty.
+// as worker tid shard and returns after Stop once the ring is empty. With
+// per-ring engines (Config.Engines) the batch goes to the ring's own engine,
+// still as worker tid shard — an engine bound to ring s must therefore be
+// configured with Workers > s.
 func (s *Service) Serve(t *sim.Thread, shard int) {
 	r := s.rings[shard]
 	ops := make([]uc.Op, s.cfg.MaxBatch)
@@ -323,11 +421,11 @@ func (s *Service) Serve(t *sim.Thread, shard int) {
 		r.drained = head + uint64(n)
 		execNS := t.Clock()
 		var mark uint64
-		if s.batcher != nil {
-			mark = s.batcher.ExecuteBatch(t, shard, ops[:n], res[:n])
+		if r.batcher != nil {
+			mark = r.batcher.ExecuteBatch(t, shard, ops[:n], res[:n])
 		} else {
 			for i := 0; i < n; i++ {
-				res[i] = s.cfg.Engine.Execute(t, shard, ops[i])
+				res[i] = r.eng.Execute(t, shard, ops[i])
 			}
 		}
 		for i := 0; i < n; i++ {
